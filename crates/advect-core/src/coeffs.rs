@@ -1,0 +1,345 @@
+//! Lax-Wendroff stencil coefficients (Table I of the paper).
+//!
+//! The paper discretizes linear advection in time with an explicit
+//! Lax-Wendroff technique and in space with a 3×3×3 stencil centered on
+//! `u(x, y, z, t)`:
+//!
+//! ```text
+//! u(x,y,z,t+Δ) ≈ Σ_{i,j,k=-1..+1} a_ijk · u(x+iδ, y+jδ, z+kδ, t)     (Eq. 2)
+//! ```
+//!
+//! The 27 coefficients `a_ijk` are functions of the velocity components
+//! `(cx, cy, cz)` and the ratio `ν = Δ/δ`. Table I lists them in expanded
+//! form; they are exactly the **tensor product of the classical 1-D
+//! Lax-Wendroff weights**
+//!
+//! ```text
+//! w(-1) = cν(1 + cν)/2,    w(0) = 1 - c²ν²,    w(+1) = cν(cν - 1)/2
+//! ```
+//!
+//! i.e. `a_ijk = wx(i) · wy(j) · wz(k)`. This module provides both the
+//! literal Table I transcription ([`Stencil27::from_table_i`]) and the
+//! tensor-product construction ([`Stencil27::new`]); unit tests prove they
+//! agree to machine precision, which validates our reading of the table
+//! (including the `a_{-1-1-1}` typo in the paper, where `c_x c_y c_y`
+//! should read `c_x c_y c_z`).
+//!
+//! The scheme is `O(Δ³)` locally and `O(Δ²)` for fixed simulated time, and
+//! is numerically stable for `|c_d| ν ≤ 1` in each dimension `d`. The paper
+//! runs at the maximum stable ν.
+
+/// Constant uniform advection velocity `c = (cx, cy, cz)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Velocity {
+    /// x component of the velocity.
+    pub cx: f64,
+    /// y component of the velocity.
+    pub cy: f64,
+    /// z component of the velocity.
+    pub cz: f64,
+}
+
+impl Velocity {
+    /// A new velocity vector.
+    pub const fn new(cx: f64, cy: f64, cz: f64) -> Self {
+        Self { cx, cy, cz }
+    }
+
+    /// The unit diagonal velocity used throughout the paper's experiments.
+    pub const fn unit_diagonal() -> Self {
+        Self::new(1.0, 1.0, 1.0)
+    }
+
+    /// `max{|cx|, |cy|, |cz|}`, the quantity governing the stability bound.
+    pub fn max_abs(&self) -> f64 {
+        self.cx.abs().max(self.cy.abs()).max(self.cz.abs())
+    }
+
+    /// The maximum stable ratio `ν = Δ/δ` for this velocity: the scheme is
+    /// stable for `ν ≤ 1 / max{|cx|,|cy|,|cz|}` (each 1-D factor requires
+    /// `|c_d| ν ≤ 1`). The paper runs at exactly this ν.
+    pub fn max_stable_nu(&self) -> f64 {
+        1.0 / self.max_abs()
+    }
+}
+
+/// 1-D Lax-Wendroff weights for Courant number `γ = c·ν`.
+///
+/// Derived from `u_i^{n+1} = u_i - γ/2 (u_{i+1} - u_{i-1})
+/// + γ²/2 (u_{i+1} - 2 u_i + u_{i-1})`.
+#[inline]
+pub fn lw_weights_1d(gamma: f64) -> [f64; 3] {
+    [
+        0.5 * gamma * (1.0 + gamma),  // w(-1): upwind neighbor
+        1.0 - gamma * gamma,          // w(0):  center
+        0.5 * gamma * (gamma - 1.0),  // w(+1): downwind neighbor
+    ]
+}
+
+/// The 27 coefficients `a_ijk` of Equation 2, stored with `k` (z offset)
+/// slowest and `i` (x offset) fastest, matching the x-fastest field layout.
+///
+/// Index mapping: `a[(i+1) + 3*(j+1) + 9*(k+1)]` holds `a_ijk` for
+/// `i, j, k ∈ {-1, 0, +1}`.
+///
+/// ```
+/// use advect_core::coeffs::{Stencil27, Velocity};
+/// let s = Stencil27::at_max_stable_nu(Velocity::unit_diagonal());
+/// // At unit Courant number the scheme is an exact one-cell shift:
+/// assert_eq!(s.at(-1, -1, -1), 1.0);
+/// assert!((s.sum() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stencil27 {
+    /// Flat coefficient array, x offset fastest.
+    pub a: [f64; 27],
+    /// Velocity the coefficients were built for.
+    pub velocity: Velocity,
+    /// Ratio `ν = Δ/δ` the coefficients were built for.
+    pub nu: f64,
+}
+
+impl Stencil27 {
+    /// Build the coefficients as the tensor product of 1-D Lax-Wendroff
+    /// weights. This is the production constructor.
+    pub fn new(velocity: Velocity, nu: f64) -> Self {
+        let wx = lw_weights_1d(velocity.cx * nu);
+        let wy = lw_weights_1d(velocity.cy * nu);
+        let wz = lw_weights_1d(velocity.cz * nu);
+        let mut a = [0.0; 27];
+        for k in 0..3 {
+            for j in 0..3 {
+                for i in 0..3 {
+                    a[i + 3 * j + 9 * k] = wx[i] * wy[j] * wz[k];
+                }
+            }
+        }
+        Self { a, velocity, nu }
+    }
+
+    /// Build the coefficients for the maximum stable ν, as the paper's
+    /// experiments do.
+    pub fn at_max_stable_nu(velocity: Velocity) -> Self {
+        Self::new(velocity, velocity.max_stable_nu())
+    }
+
+    /// Build the coefficients from the literal expressions of Table I.
+    ///
+    /// Kept as an executable transcription of the paper; tests assert it
+    /// matches [`Stencil27::new`] to machine precision.
+    pub fn from_table_i(velocity: Velocity, nu: f64) -> Self {
+        let Velocity { cx, cy, cz } = velocity;
+        let v = nu;
+        let v2 = v * v;
+        let v3 = v2 * v;
+        let mut s = Self {
+            a: [0.0; 27],
+            velocity,
+            nu,
+        };
+        let mut set = |i: i32, j: i32, k: i32, val: f64| {
+            s.a[Self::offset_index(i, j, k)] = val;
+        };
+        // Row by row from Table I. The first row's printed "c_x c_y c_y" is
+        // the paper's typo for "c_x c_y c_z" (the tensor-product structure
+        // and the symmetry of the remaining 26 rows require c_z).
+        set(-1, -1, -1, cx * cy * cz * v3 * (1. + cx * v) * (1. + cy * v) * (1. + cz * v) / 8.);
+        set(-1, -1, 0, -2. * cx * cy * v2 * (1. + cx * v) * (1. + cy * v) * (cz * cz * v2 - 1.) / 8.);
+        set(-1, -1, 1, cx * cy * cz * v3 * (1. + cx * v) * (1. + cy * v) * (cz * v - 1.) / 8.);
+        set(-1, 0, -1, -2. * cx * cz * v2 * (1. + cx * v) * (1. + cz * v) * (cy * cy * v2 - 1.) / 8.);
+        set(-1, 0, 0, 4. * cx * v * (1. + cx * v) * (cy * cy * v2 - 1.) * (cz * cz * v2 - 1.) / 8.);
+        set(-1, 0, 1, -2. * cx * cz * v2 * (1. + cx * v) * (-1. + cz * v) * (-1. + cy * cy * v2) / 8.);
+        set(-1, 1, -1, cx * cy * cz * v3 * (1. + cx * v) * (-1. + cy * v) * (1. + cz * v) / 8.);
+        set(-1, 1, 0, -2. * cx * cy * v2 * (1. + cx * v) * (-1. + cy * v) * (-1. + cz * cz * v2) / 8.);
+        set(-1, 1, 1, cx * cy * cz * v3 * (1. + cx * v) * (-1. + cy * v) * (-1. + cz * v) / 8.);
+        set(0, -1, -1, -2. * cy * cz * v2 * (1. + cy * v) * (1. + cz * v) * (-1. + cx * cx * v2) / 8.);
+        set(0, -1, 0, 4. * cy * v * (1. + cy * v) * (-1. + cx * cx * v2) * (-1. + cz * cz * v2) / 8.);
+        set(0, -1, 1, -2. * cy * cz * v2 * (1. + cy * v) * (-1. + cz * v) * (-1. + cx * cx * v2) / 8.);
+        set(0, 0, -1, 4. * cz * v * (1. + cz * v) * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) / 8.);
+        set(0, 0, 0, -8. * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) * (-1. + cz * cz * v2) / 8.);
+        set(0, 0, 1, 4. * cz * v * (-1. + cz * v) * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) / 8.);
+        set(0, 1, -1, -2. * cy * cz * v2 * (-1. + cy * v) * (1. + cz * v) * (-1. + cx * cx * v2) / 8.);
+        set(0, 1, 0, 4. * cy * v * (-1. + cy * v) * (-1. + cx * cx * v2) * (-1. + cz * cz * v2) / 8.);
+        set(0, 1, 1, -2. * cy * cz * v2 * (-1. + cy * v) * (-1. + cz * v) * (-1. + cx * cx * v2) / 8.);
+        set(1, -1, -1, cx * cy * cz * v3 * (-1. + cx * v) * (1. + cy * v) * (1. + cz * v) / 8.);
+        set(1, -1, 0, -2. * cx * cy * v2 * (-1. + cx * v) * (1. + cy * v) * (-1. + cz * cz * v2) / 8.);
+        set(1, -1, 1, cx * cy * cz * v3 * (-1. + cx * v) * (1. + cy * v) * (-1. + cz * v) / 8.);
+        set(1, 0, -1, -2. * cx * cz * v2 * (-1. + cx * v) * (1. + cz * v) * (-1. + cy * cy * v2) / 8.);
+        set(1, 0, 0, 4. * cx * v * (-1. + cx * v) * (-1. + cy * cy * v2) * (-1. + cz * cz * v2) / 8.);
+        set(1, 0, 1, -2. * cx * cz * v2 * (-1. + cx * v) * (-1. + cz * v) * (-1. + cy * cy * v2) / 8.);
+        set(1, 1, -1, cx * cy * cz * v3 * (-1. + cx * v) * (-1. + cy * v) * (1. + cz * v) / 8.);
+        set(1, 1, 0, -2. * cx * cy * v2 * (-1. + cx * v) * (-1. + cy * v) * (-1. + cz * cz * v2) / 8.);
+        set(1, 1, 1, cx * cy * cz * v3 * (-1. + cx * v) * (-1. + cy * v) * (-1. + cz * v) / 8.);
+        s
+    }
+
+    /// Flat index for stencil offsets `i, j, k ∈ {-1, 0, +1}`.
+    #[inline]
+    pub fn offset_index(i: i32, j: i32, k: i32) -> usize {
+        debug_assert!((-1..=1).contains(&i) && (-1..=1).contains(&j) && (-1..=1).contains(&k));
+        ((i + 1) + 3 * (j + 1) + 9 * (k + 1)) as usize
+    }
+
+    /// Coefficient `a_ijk` for offsets in `{-1, 0, +1}`.
+    #[inline]
+    pub fn at(&self, i: i32, j: i32, k: i32) -> f64 {
+        self.a[Self::offset_index(i, j, k)]
+    }
+
+    /// Sum of all 27 coefficients. Consistency (a constant field must be
+    /// preserved exactly) requires this to be 1.
+    pub fn sum(&self) -> f64 {
+        self.a.iter().sum()
+    }
+
+    /// First moment along a dimension (0 = x, 1 = y, 2 = z):
+    /// `Σ a_ijk · offset_d`. Consistency with Eq. 1 requires this to equal
+    /// `-c_d ν` (the scheme transports by `c_d Δ = c_d ν δ` per step).
+    pub fn first_moment(&self, dim: usize) -> f64 {
+        self.moment(dim, 1)
+    }
+
+    /// Second moment along a dimension: `Σ a_ijk · offset_d²`. The
+    /// Lax-Wendroff O(Δ²) construction requires this to equal `(c_d ν)²`.
+    pub fn second_moment(&self, dim: usize) -> f64 {
+        self.moment(dim, 2)
+    }
+
+    fn moment(&self, dim: usize, power: u32) -> f64 {
+        assert!(dim < 3, "dimension must be 0, 1, or 2");
+        let mut m = 0.0;
+        for k in -1i32..=1 {
+            for j in -1i32..=1 {
+                for i in -1i32..=1 {
+                    let off = [i, j, k][dim] as f64;
+                    m += self.at(i, j, k) * off.powi(power as i32);
+                }
+            }
+        }
+        m
+    }
+
+    /// Whether the scheme is numerically stable for these parameters:
+    /// `|c_d| ν ≤ 1` in every dimension.
+    pub fn is_stable(&self) -> bool {
+        self.velocity.max_abs() * self.nu <= 1.0 + 1e-12
+    }
+
+    /// True when the scheme reduces to an exact one-cell shift in each
+    /// dimension, i.e. every Courant number `c_d ν` is exactly ±1 or 0.
+    pub fn is_exact_shift(&self) -> bool {
+        let Velocity { cx, cy, cz } = self.velocity;
+        [cx, cy, cz]
+            .iter()
+            .all(|c| (c * self.nu).abs() == 1.0 || c * self.nu == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-14 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn table_i_matches_tensor_product() {
+        for &(cx, cy, cz, nu) in &[
+            (1.0, 1.0, 1.0, 1.0),
+            (1.0, 0.5, 0.25, 0.9),
+            (-0.7, 0.3, 0.9, 0.8),
+            (0.0, 0.0, 0.0, 0.5),
+            (2.0, -1.5, 0.1, 0.4),
+        ] {
+            let v = Velocity::new(cx, cy, cz);
+            let t = Stencil27::from_table_i(v, nu);
+            let p = Stencil27::new(v, nu);
+            for idx in 0..27 {
+                assert!(
+                    close(t.a[idx], p.a[idx]),
+                    "mismatch at {idx}: table={} product={} (c=({cx},{cy},{cz}), nu={nu})",
+                    t.a[idx],
+                    p.a[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_sum_to_one() {
+        for &(cx, cy, cz, nu) in &[(1.0, 1.0, 1.0, 1.0), (0.3, -0.8, 0.5, 0.7), (1.0, 2.0, 3.0, 0.2)] {
+            let s = Stencil27::new(Velocity::new(cx, cy, cz), nu);
+            assert!(close(s.sum(), 1.0), "sum = {}", s.sum());
+        }
+    }
+
+    #[test]
+    fn first_moments_match_transport() {
+        let v = Velocity::new(0.4, -0.9, 0.6);
+        let nu = 0.8;
+        let s = Stencil27::new(v, nu);
+        assert!(close(s.first_moment(0), -v.cx * nu));
+        assert!(close(s.first_moment(1), -v.cy * nu));
+        assert!(close(s.first_moment(2), -v.cz * nu));
+    }
+
+    #[test]
+    fn second_moments_match_lax_wendroff() {
+        let v = Velocity::new(0.4, -0.9, 0.6);
+        let nu = 0.8;
+        let s = Stencil27::new(v, nu);
+        for d in 0..3 {
+            let g = [v.cx, v.cy, v.cz][d] * nu;
+            assert!(close(s.second_moment(d), g * g));
+        }
+    }
+
+    #[test]
+    fn unit_courant_is_exact_shift() {
+        let s = Stencil27::at_max_stable_nu(Velocity::unit_diagonal());
+        assert!(s.is_exact_shift());
+        // Only the (-1,-1,-1) coefficient is nonzero: pure shift.
+        for k in -1i32..=1 {
+            for j in -1i32..=1 {
+                for i in -1i32..=1 {
+                    let expect = if (i, j, k) == (-1, -1, -1) { 1.0 } else { 0.0 };
+                    assert!(close(s.at(i, j, k), expect), "a({i},{j},{k}) = {}", s.at(i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_stable_nu_is_stable_boundary() {
+        let v = Velocity::new(2.0, 0.5, -1.0);
+        let s = Stencil27::at_max_stable_nu(v);
+        assert!(s.is_stable());
+        let s2 = Stencil27::new(v, v.max_stable_nu() * 1.01);
+        assert!(!s2.is_stable());
+    }
+
+    #[test]
+    fn zero_velocity_is_identity() {
+        let s = Stencil27::new(Velocity::new(0.0, 0.0, 0.0), 0.9);
+        for idx in 0..27 {
+            let expect = if idx == Stencil27::offset_index(0, 0, 0) { 1.0 } else { 0.0 };
+            assert!(close(s.a[idx], expect));
+        }
+    }
+
+    #[test]
+    fn offset_index_is_bijective() {
+        let mut seen = [false; 27];
+        for k in -1i32..=1 {
+            for j in -1i32..=1 {
+                for i in -1i32..=1 {
+                    let idx = Stencil27::offset_index(i, j, k);
+                    assert!(!seen[idx]);
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

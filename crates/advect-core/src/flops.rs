@@ -1,0 +1,58 @@
+//! The paper's floating-point cost model.
+//!
+//! "Given the measured time in seconds, the grid size, and the number of
+//! time steps, we analytically compute the performance in GF (billions of
+//! floating-point operations per second) based on the 53 floating-point
+//! operations appearing in Equation 2: 27 multiplications and 26
+//! additions."
+
+/// Multiplications per grid point per step in Equation 2.
+pub const MULS_PER_POINT: u64 = 27;
+/// Additions per grid point per step in Equation 2.
+pub const ADDS_PER_POINT: u64 = 26;
+/// Total flops per grid point per step.
+pub const FLOPS_PER_POINT: u64 = MULS_PER_POINT + ADDS_PER_POINT;
+
+/// The paper's global grid: 420 × 420 × 420.
+pub const PAPER_GRID: usize = 420;
+
+/// Total flops for `points` grid points advanced `steps` time steps.
+pub fn total_flops(points: u64, steps: u64) -> u64 {
+    points * steps * FLOPS_PER_POINT
+}
+
+/// Performance in GF (1e9 flops/s) for a measured run.
+pub fn gigaflops(points: u64, steps: u64, seconds: f64) -> f64 {
+    assert!(seconds > 0.0, "elapsed time must be positive");
+    total_flops(points, steps) as f64 / seconds / 1e9
+}
+
+/// Flops of a single step of the paper's 420³ case: ≈ 3.93 Gflop.
+pub fn paper_step_flops() -> u64 {
+    total_flops((PAPER_GRID * PAPER_GRID * PAPER_GRID) as u64, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_three_flops_per_point() {
+        assert_eq!(FLOPS_PER_POINT, 53);
+    }
+
+    #[test]
+    fn paper_step_is_about_3_9_gflop() {
+        let f = paper_step_flops() as f64 / 1e9;
+        assert!((f - 3.926).abs() < 0.01, "got {f}");
+    }
+
+    #[test]
+    fn gigaflops_scales_linearly() {
+        let a = gigaflops(1000, 10, 1.0);
+        let b = gigaflops(1000, 10, 2.0);
+        assert!((a - 2.0 * b).abs() < 1e-12);
+        let c = gigaflops(2000, 10, 1.0);
+        assert!((c - 2.0 * a).abs() < 1e-12);
+    }
+}

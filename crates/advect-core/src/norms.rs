@@ -1,0 +1,122 @@
+//! Error norms between computed and reference states.
+//!
+//! The paper verifies each implementation "by recording norms of the
+//! difference between the computed state and the analytic state"; we do
+//! the same, with discrete L1, L2 (root-mean-square) and L∞ norms.
+
+use crate::analytic::AnalyticSolution;
+use crate::field::Field3;
+
+/// A triple of discrete error norms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Norms {
+    /// Mean absolute error.
+    pub l1: f64,
+    /// Root-mean-square error.
+    pub l2: f64,
+    /// Maximum absolute error.
+    pub linf: f64,
+}
+
+impl Norms {
+    /// Norms of the interior difference between two fields.
+    pub fn between(a: &Field3, b: &Field3) -> Norms {
+        assert_eq!(a.interior(), b.interior());
+        let mut sum_abs = 0.0;
+        let mut sum_sq = 0.0;
+        let mut max: f64 = 0.0;
+        let mut n = 0usize;
+        for (x, y, z) in a.interior_range().iter() {
+            let d = (a.at(x, y, z) - b.at(x, y, z)).abs();
+            sum_abs += d;
+            sum_sq += d * d;
+            max = max.max(d);
+            n += 1;
+        }
+        Norms {
+            l1: sum_abs / n as f64,
+            l2: (sum_sq / n as f64).sqrt(),
+            linf: max,
+        }
+    }
+
+    /// Norms of the interior difference between a field and an analytic
+    /// solution sampled on the field's grid. `origin` is the physical
+    /// position of interior point (0, 0, 0), `spacing` the grid spacing δ,
+    /// and `t` the evaluation time.
+    pub fn against_analytic(
+        field: &Field3,
+        solution: &dyn AnalyticSolution,
+        origin: [f64; 3],
+        spacing: f64,
+        t: f64,
+    ) -> Norms {
+        let mut exact = Field3::new(field.interior().0, field.interior().1, field.interior().2, field.halo());
+        exact.fill_interior(|x, y, z| {
+            solution.eval(
+                origin[0] + x as f64 * spacing,
+                origin[1] + y as f64 * spacing,
+                origin[2] + z as f64 * spacing,
+                t,
+            )
+        });
+        Norms::between(field, &exact)
+    }
+}
+
+/// Mean absolute (discrete L1) norm of the interior difference.
+pub fn l1_norm(a: &Field3, b: &Field3) -> f64 {
+    Norms::between(a, b).l1
+}
+
+/// Root-mean-square (discrete L2) norm of the interior difference.
+pub fn l2_norm(a: &Field3, b: &Field3) -> f64 {
+    Norms::between(a, b).l2
+}
+
+/// Maximum (discrete L∞) norm of the interior difference.
+pub fn linf_norm(a: &Field3, b: &Field3) -> f64 {
+    Norms::between(a, b).linf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::GaussianPulse;
+    use crate::coeffs::Velocity;
+
+    #[test]
+    fn identical_fields_have_zero_norms() {
+        let mut a = Field3::new(4, 4, 4, 1);
+        a.fill_interior(|x, y, z| (x + y + z) as f64);
+        let n = Norms::between(&a, &a.clone());
+        assert_eq!(n.l1, 0.0);
+        assert_eq!(n.l2, 0.0);
+        assert_eq!(n.linf, 0.0);
+    }
+
+    #[test]
+    fn norm_ordering_l1_le_l2_le_linf() {
+        let mut a = Field3::new(5, 5, 5, 1);
+        let mut b = Field3::new(5, 5, 5, 1);
+        a.fill_interior(|x, y, z| (x * y + z) as f64);
+        b.fill_interior(|x, y, z| (x * y) as f64 + (z as f64) * 1.5);
+        let n = Norms::between(&a, &b);
+        assert!(n.l1 <= n.l2 + 1e-15);
+        assert!(n.l2 <= n.linf + 1e-15);
+        assert!(n.linf > 0.0);
+    }
+
+    #[test]
+    fn against_analytic_zero_when_sampled_exactly() {
+        let p = GaussianPulse::centered_in_cube(1.0, Velocity::unit_diagonal());
+        let n = 8;
+        let spacing = 1.0 / n as f64;
+        let mut f = Field3::new(n, n, n, 1);
+        f.fill_interior(|x, y, z| {
+            p.eval(x as f64 * spacing, y as f64 * spacing, z as f64 * spacing, 0.0)
+        });
+        let norms = Norms::against_analytic(&f, &p, [0.0; 3], spacing, 0.0);
+        assert_eq!(norms.linf, 0.0);
+    }
+}

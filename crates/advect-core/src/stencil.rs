@@ -1,0 +1,320 @@
+//! The 27-point stencil kernel (Equation 2 of the paper).
+//!
+//! `apply_stencil_region` computes the new state over an arbitrary
+//! sub-region of a field. Every implementation — serial, threaded,
+//! partitioned-for-overlap, and the functional GPU kernels — funnels
+//! through the same arithmetic, so all of them produce bit-identical
+//! results (the operations are performed in the same order per point).
+
+use crate::coeffs::Stencil27;
+use crate::field::{Field3, Range3};
+
+/// Apply Equation 2 to `region` of `src`, writing into the same region of
+/// `dst`. `src` must have valid halo/neighbor values for every point that
+/// `region` touches (one point in every direction).
+///
+/// Cost: 53 flops per point (27 multiplications + 26 additions), exactly
+/// the count the paper uses to convert measured time into GF.
+pub fn apply_stencil_region(src: &Field3, dst: &mut Field3, s: &Stencil27, region: Range3) {
+    assert_eq!(src.interior(), dst.interior(), "field sizes must match");
+    let (sx, sy, _) = src.extents();
+    let stride_y = sx as i64;
+    let stride_z = (sx * sy) as i64;
+    // Precompute the 27 flat-index offsets once.
+    let mut offs = [0i64; 27];
+    let mut coef = [0f64; 27];
+    let mut n = 0;
+    for k in -1i64..=1 {
+        for j in -1i64..=1 {
+            for i in -1i64..=1 {
+                offs[n] = i + j * stride_y + k * stride_z;
+                coef[n] = s.at(i as i32, j as i32, k as i32);
+                n += 1;
+            }
+        }
+    }
+    let sd = src.data();
+    for z in region.z.0..region.z.1 {
+        for y in region.y.0..region.y.1 {
+            if region.x.1 <= region.x.0 {
+                continue;
+            }
+            let row_src = src.idx(region.x.0, y, z) as i64;
+            let row_dst = dst.idx(region.x.0, y, z);
+            let w = (region.x.1 - region.x.0) as usize;
+            let dd = dst.data_mut();
+            for ix in 0..w {
+                let base = row_src + ix as i64;
+                // Accumulate the 27 taps in fixed order so all execution
+                // strategies produce bit-identical sums.
+                let mut acc = 0.0;
+                for t in 0..27 {
+                    acc += coef[t] * sd[(base + offs[t]) as usize];
+                }
+                dd[row_dst + ix] = acc;
+            }
+        }
+    }
+}
+
+/// Apply Equation 2 to the part of `region` owned by a mutable z-slab of
+/// the destination field. Used by the threaded steppers: each thread owns a
+/// disjoint [`crate::field::ZSlabMut`] so the writes are data-race-free by
+/// construction.
+pub fn apply_stencil_slab(
+    src: &Field3,
+    dst: &mut crate::field::ZSlabMut<'_>,
+    s: &Stencil27,
+    region: Range3,
+) {
+    let clipped = dst.owned_region(region);
+    if clipped.is_empty() {
+        return;
+    }
+    let (sx, sy, _) = src.extents();
+    let stride_y = sx as i64;
+    let stride_z = (sx * sy) as i64;
+    let mut offs = [0i64; 27];
+    let mut coef = [0f64; 27];
+    let mut n = 0;
+    for k in -1i64..=1 {
+        for j in -1i64..=1 {
+            for i in -1i64..=1 {
+                offs[n] = i + j * stride_y + k * stride_z;
+                coef[n] = s.at(i as i32, j as i32, k as i32);
+                n += 1;
+            }
+        }
+    }
+    let sd = src.data();
+    for z in clipped.z.0..clipped.z.1 {
+        for y in clipped.y.0..clipped.y.1 {
+            let row_src = src.idx(clipped.x.0, y, z) as i64;
+            let row_dst = dst.idx(clipped.x.0, y, z);
+            let w = (clipped.x.1 - clipped.x.0) as usize;
+            for ix in 0..w {
+                let base = row_src + ix as i64;
+                let mut acc = 0.0;
+                for t in 0..27 {
+                    acc += coef[t] * sd[(base + offs[t]) as usize];
+                }
+                dst.data[row_dst + ix] = acc;
+            }
+        }
+    }
+}
+
+/// Copy `region` of `src` into the part of it owned by a destination
+/// z-slab (the threaded version of the paper's Step 3).
+pub fn copy_region_slab(src: &Field3, dst: &mut crate::field::ZSlabMut<'_>, region: Range3) {
+    let clipped = dst.owned_region(region);
+    for z in clipped.z.0..clipped.z.1 {
+        for y in clipped.y.0..clipped.y.1 {
+            let w = (clipped.x.1 - clipped.x.0).max(0) as usize;
+            if w == 0 {
+                continue;
+            }
+            let s0 = src.idx(clipped.x.0, y, z);
+            let d0 = dst.idx(clipped.x.0, y, z);
+            dst.data[d0..d0 + w].copy_from_slice(&src.data()[s0..s0 + w]);
+        }
+    }
+}
+
+/// Apply Equation 2 to `region`, writing through a
+/// [`crate::field::SharedWriter`] so
+/// that multiple threads with *disjoint* regions can fill one destination
+/// field concurrently under dynamic scheduling (implementation IV-D).
+pub fn apply_stencil_shared(
+    src: &Field3,
+    dst: &crate::field::SharedWriter<'_>,
+    s: &Stencil27,
+    region: Range3,
+) {
+    let (sx, sy, _) = src.extents();
+    let stride_y = sx as i64;
+    let stride_z = (sx * sy) as i64;
+    let mut offs = [0i64; 27];
+    let mut coef = [0f64; 27];
+    let mut n = 0;
+    for k in -1i64..=1 {
+        for j in -1i64..=1 {
+            for i in -1i64..=1 {
+                offs[n] = i + j * stride_y + k * stride_z;
+                coef[n] = s.at(i as i32, j as i32, k as i32);
+                n += 1;
+            }
+        }
+    }
+    let sd = src.data();
+    for z in region.z.0..region.z.1 {
+        for y in region.y.0..region.y.1 {
+            if region.x.1 <= region.x.0 {
+                continue;
+            }
+            let row_src = src.idx(region.x.0, y, z) as i64;
+            let w = (region.x.1 - region.x.0) as usize;
+            for ix in 0..w {
+                let base = row_src + ix as i64;
+                let mut acc = 0.0;
+                for t in 0..27 {
+                    acc += coef[t] * sd[(base + offs[t]) as usize];
+                }
+                dst.write(region.x.0 + ix as i64, y, z, acc);
+            }
+        }
+    }
+}
+
+/// Apply Equation 2 reading *and* writing through
+/// [`crate::field::SharedField`]s.
+///
+/// Used when the source field is concurrently mutated in a disjoint
+/// region by another thread (implementation IV-D: the master exchanges
+/// halos while workers compute interior points) — every access goes
+/// through `UnsafeCell`, so the overlap is sound as long as the regions
+/// stay disjoint, which the interior/boundary split guarantees.
+pub fn apply_stencil_cells(
+    src: &crate::field::SharedField<'_>,
+    dst: &crate::field::SharedField<'_>,
+    s: &Stencil27,
+    region: Range3,
+) {
+    for z in region.z.0..region.z.1 {
+        for y in region.y.0..region.y.1 {
+            for x in region.x.0..region.x.1 {
+                let mut acc = 0.0;
+                let mut t = 0;
+                for k in -1i64..=1 {
+                    for j in -1i64..=1 {
+                        for i in -1i64..=1 {
+                            acc += s.a[t] * src.read(x + i, y + j, z + k);
+                            t += 1;
+                        }
+                    }
+                }
+                dst.write(x, y, z, acc);
+            }
+        }
+    }
+}
+
+/// Apply the stencil to the entire interior of `src`.
+pub fn apply_stencil_interior(src: &Field3, dst: &mut Field3, s: &Stencil27) {
+    let region = src.interior_range();
+    apply_stencil_region(src, dst, s, region);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coeffs::Velocity;
+
+    fn filled(n: usize, f: impl FnMut(i64, i64, i64) -> f64) -> Field3 {
+        let mut fld = Field3::new(n, n, n, 1);
+        fld.fill_interior(f);
+        fld.copy_periodic_halo();
+        fld
+    }
+
+    #[test]
+    fn constant_field_is_preserved() {
+        let s = Stencil27::new(Velocity::new(0.7, -0.4, 0.2), 0.9);
+        let src = filled(6, |_, _, _| 3.25);
+        let mut dst = Field3::new(6, 6, 6, 1);
+        apply_stencil_interior(&src, &mut dst, &s);
+        for (x, y, z) in dst.interior_range().iter() {
+            assert!((dst.at(x, y, z) - 3.25).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn unit_courant_shifts_by_one_cell() {
+        let s = Stencil27::at_max_stable_nu(Velocity::unit_diagonal());
+        let src = filled(8, |x, y, z| (x + 10 * y + 100 * z) as f64);
+        let mut dst = Field3::new(8, 8, 8, 1);
+        apply_stencil_interior(&src, &mut dst, &s);
+        // u_new(x) = u_old(x - 1) in every dimension (with wrap via halo).
+        for (x, y, z) in dst.interior_range().iter() {
+            let expect = src.at(x - 1, y - 1, z - 1);
+            assert!(
+                (dst.at(x, y, z) - expect).abs() < 1e-12,
+                "at ({x},{y},{z}): got {} expected {expect}",
+                dst.at(x, y, z)
+            );
+        }
+    }
+
+    #[test]
+    fn region_application_matches_full() {
+        let s = Stencil27::new(Velocity::new(1.0, 0.5, 0.25), 0.8);
+        let src = filled(7, |x, y, z| ((x * 3 + y * 5 + z * 7) % 11) as f64);
+        let mut full = Field3::new(7, 7, 7, 1);
+        apply_stencil_interior(&src, &mut full, &s);
+        // Apply in 4 disjoint regions; result must be identical.
+        let mut piecewise = Field3::new(7, 7, 7, 1);
+        let regions = [
+            Range3::new((0, 7), (0, 7), (0, 2)),
+            Range3::new((0, 7), (0, 7), (2, 5)),
+            Range3::new((0, 3), (0, 7), (5, 7)),
+            Range3::new((3, 7), (0, 7), (5, 7)),
+        ];
+        for r in regions {
+            apply_stencil_region(&src, &mut piecewise, &s, r);
+        }
+        assert_eq!(full.max_abs_diff(&piecewise), 0.0);
+    }
+
+    #[test]
+    fn empty_region_is_noop() {
+        let s = Stencil27::new(Velocity::unit_diagonal(), 0.5);
+        let src = filled(4, |x, _, _| x as f64);
+        let mut dst = Field3::new(4, 4, 4, 1);
+        apply_stencil_region(&src, &mut dst, &s, Range3::new((2, 2), (0, 4), (0, 4)));
+        for (x, y, z) in dst.interior_range().iter() {
+            assert_eq!(dst.at(x, y, z), 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_writer_matches_direct_under_threads() {
+        use crate::field::SharedWriter;
+        use crate::team::{Schedule, ThreadTeam};
+        let s = Stencil27::new(Velocity::new(0.9, 0.4, -0.6), 0.85);
+        let src = filled(10, |x, y, z| ((x * 5 + y * 3 + z) % 9) as f64);
+        let mut direct = Field3::new(10, 10, 10, 1);
+        apply_stencil_interior(&src, &mut direct, &s);
+        let mut shared = Field3::new(10, 10, 10, 1);
+        {
+            let writer = SharedWriter::new(&mut shared);
+            let team = ThreadTeam::new(4);
+            let src_ref = &src;
+            let s_ref = &s;
+            team.parallel_for(0..10, Schedule::guided(), |zr| {
+                let region = Range3::new((0, 10), (0, 10), (zr.start as i64, zr.end as i64));
+                apply_stencil_shared(src_ref, &writer, s_ref, region);
+            });
+        }
+        assert_eq!(direct.max_abs_diff(&shared), 0.0);
+    }
+
+    #[test]
+    fn linearity_of_the_operator() {
+        let s = Stencil27::new(Velocity::new(0.3, 0.9, -0.5), 0.7);
+        let a = filled(5, |x, y, z| (x * x + y + z) as f64);
+        let b = filled(5, |x, y, z| ((x + y * z) % 7) as f64);
+        let mut combo = Field3::new(5, 5, 5, 1);
+        combo.fill_interior(|x, y, z| 2.0 * a.at(x, y, z) - 3.0 * b.at(x, y, z));
+        combo.copy_periodic_halo();
+        let mut ra = Field3::new(5, 5, 5, 1);
+        let mut rb = Field3::new(5, 5, 5, 1);
+        let mut rc = Field3::new(5, 5, 5, 1);
+        apply_stencil_interior(&a, &mut ra, &s);
+        apply_stencil_interior(&b, &mut rb, &s);
+        apply_stencil_interior(&combo, &mut rc, &s);
+        for (x, y, z) in rc.interior_range().iter() {
+            let expect = 2.0 * ra.at(x, y, z) - 3.0 * rb.at(x, y, z);
+            assert!((rc.at(x, y, z) - expect).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Von Neumann (Fourier) stability analysis of the Lax-Wendroff scheme.
+//!
+//! The paper states the method "is numerically stable for
+//! ν ≤ max{|cx|, |cy|, |cz|}⁻¹-style bounds" (its inequality reads
+//! `ν ≤ max{|cx|,|cy|,|cz|}` with ν normalized; in our variables the
+//! scheme is stable iff every Courant number `|c_d| ν ≤ 1`). This module
+//! *proves* that numerically: for a periodic domain the scheme's Fourier
+//! symbol factorizes over dimensions,
+//!
+//! ```text
+//! G(θx, θy, θz) = g(γx, θx) · g(γy, θy) · g(γz, θz),
+//! g(γ, θ) = 1 - γ²(1 - cos θ) - iγ sin θ,
+//! ```
+//!
+//! with `γ_d = c_d ν`, and the scheme is stable iff `max |G| ≤ 1` over all
+//! angles. [`amplification_factor`] evaluates `|G|`, [`max_amplification`]
+//! scans the angle grid, and [`is_stable`] applies the textbook criterion
+//! — which the tests confirm is *exactly* `|γ_d| ≤ 1` per dimension, and
+//! confirm against direct time stepping.
+
+use crate::coeffs::{Stencil27, Velocity};
+
+/// A complex number, minimal and local (no external dependency needed for
+/// a 2-component analysis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// A new complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// The 1-D Lax-Wendroff symbol `g(γ, θ)` at Courant number γ and phase
+/// angle θ.
+pub fn symbol_1d(gamma: f64, theta: f64) -> Complex {
+    Complex::new(
+        1.0 - gamma * gamma * (1.0 - theta.cos()),
+        -gamma * theta.sin(),
+    )
+}
+
+/// The full 3-D symbol: the product of the per-dimension symbols (the
+/// scheme is the tensor product of 1-D updates).
+pub fn symbol_3d(velocity: Velocity, nu: f64, theta: [f64; 3]) -> Complex {
+    let g = [velocity.cx, velocity.cy, velocity.cz];
+    let mut acc = Complex::new(1.0, 0.0);
+    for d in 0..3 {
+        acc = acc * symbol_1d(g[d] * nu, theta[d]);
+    }
+    acc
+}
+
+/// `|G|` at one angle triple.
+pub fn amplification_factor(velocity: Velocity, nu: f64, theta: [f64; 3]) -> f64 {
+    symbol_3d(velocity, nu, theta).abs()
+}
+
+/// Maximum `|G|` over an `n³` grid of angles in `[0, 2π)³`.
+///
+/// Because the symbol factorizes, the max is the product of per-dimension
+/// maxima — computed that way for O(3n) instead of O(n³).
+pub fn max_amplification(velocity: Velocity, nu: f64, n: usize) -> f64 {
+    let gammas = [velocity.cx * nu, velocity.cy * nu, velocity.cz * nu];
+    gammas
+        .iter()
+        .map(|&g| {
+            (0..n)
+                .map(|i| symbol_1d(g, i as f64 * std::f64::consts::TAU / n as f64).abs())
+                .fold(0.0f64, f64::max)
+        })
+        .product()
+}
+
+/// Von Neumann stability: `max |G| ≤ 1` (scanned at 720 angles per
+/// dimension, with a tolerance for roundoff at the neutral boundary).
+pub fn is_stable(velocity: Velocity, nu: f64) -> bool {
+    max_amplification(velocity, nu, 720) <= 1.0 + 1e-12
+}
+
+/// Verify the symbol against the actual stencil: applying the 27
+/// coefficients to the plane wave `exp(i k·x)` must multiply it by
+/// `G(θ)`. Returns the worst-case discrepancy over the given angles —
+/// a machine-precision check that Table I really is the tensor-product
+/// Lax-Wendroff scheme.
+pub fn symbol_matches_stencil(velocity: Velocity, nu: f64, thetas: &[[f64; 3]]) -> f64 {
+    let s = Stencil27::new(velocity, nu);
+    let mut worst = 0.0f64;
+    for &theta in thetas {
+        // Σ a_ijk e^{i(iθx + jθy + kθz)}
+        let mut acc = Complex::new(0.0, 0.0);
+        for k in -1i32..=1 {
+            for j in -1i32..=1 {
+                for i in -1i32..=1 {
+                    let phase = i as f64 * theta[0] + j as f64 * theta[1] + k as f64 * theta[2];
+                    let a = s.at(i, j, k);
+                    acc = Complex::new(acc.re + a * phase.cos(), acc.im + a * phase.sin());
+                }
+            }
+        }
+        let g = symbol_3d(velocity, nu, theta);
+        worst = worst
+            .max((acc.re - g.re).abs())
+            .max((acc.im - g.im).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stepper::{AdvectionProblem, SerialStepper};
+
+    fn angle_grid(n: usize) -> Vec<[f64; 3]> {
+        let mut out = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let f = std::f64::consts::TAU / n as f64;
+                    out.push([a as f64 * f, b as f64 * f, c as f64 * f]);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn symbol_equals_stencil_response() {
+        for &(v, nu) in &[
+            (Velocity::new(1.0, 0.5, 0.25), 0.9),
+            (Velocity::new(-0.7, 0.3, 0.9), 0.8),
+            (Velocity::unit_diagonal(), 1.0),
+        ] {
+            let worst = symbol_matches_stencil(v, nu, &angle_grid(7));
+            assert!(worst < 1e-12, "worst discrepancy {worst}");
+        }
+    }
+
+    #[test]
+    fn stable_exactly_up_to_unit_courant() {
+        let v = Velocity::new(1.0, 0.5, 0.25);
+        assert!(is_stable(v, 1.0)); // γx = 1: neutral
+        assert!(is_stable(v, 0.5));
+        assert!(!is_stable(v, 1.05)); // γx > 1
+        // The stability boundary tracks the largest |c| component.
+        let v2 = Velocity::new(0.5, 2.0, 0.1);
+        assert!(is_stable(v2, 0.5)); // γy = 1
+        assert!(!is_stable(v2, 0.55));
+    }
+
+    #[test]
+    fn matches_velocity_max_stable_nu() {
+        for &(cx, cy, cz) in &[(1.0, 1.0, 1.0), (2.0, 0.3, -0.7), (0.25, 0.5, 1.5)] {
+            let v = Velocity::new(cx, cy, cz);
+            let nu = v.max_stable_nu();
+            assert!(is_stable(v, nu), "claimed-stable nu unstable: {nu}");
+            assert!(!is_stable(v, nu * 1.05), "5% past the bound still stable");
+        }
+    }
+
+    #[test]
+    fn unit_courant_is_neutral_everywhere() {
+        // |g(1, θ)| = 1 for all θ: pure translation, no damping.
+        for i in 0..64 {
+            let theta = i as f64 * std::f64::consts::TAU / 64.0;
+            assert!((symbol_1d(1.0, theta).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interior_courant_damps_high_frequencies() {
+        // 0 < γ < 1: |g| < 1 at θ = π (the grid-scale mode is damped).
+        let g = symbol_1d(0.5, std::f64::consts::PI);
+        assert!(g.abs() < 0.6);
+        // …but DC is untouched.
+        assert!((symbol_1d(0.5, 0.0).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn predicted_decay_matches_time_stepping() {
+        // Advect a single Fourier mode and compare its measured decay per
+        // step against |G| for that mode.
+        let n = 16usize;
+        let velocity = Velocity::new(1.0, 0.0, 0.0);
+        let nu = 0.5;
+        let problem = AdvectionProblem {
+            velocity,
+            nu,
+            ..AdvectionProblem::paper_case(n)
+        };
+        // Mode k = (2, 0, 0): θx = 2·2π/n.
+        let theta = [2.0 * std::f64::consts::TAU / n as f64, 0.0, 0.0];
+        let mut s = SerialStepper::new(problem);
+        // Overwrite the initial state with the cosine mode.
+        let mut init = advect_core_field(n, theta[0]);
+        std::mem::swap(s.state_mut(), &mut init);
+        let amp0 = mode_amplitude(s.state(), theta[0]);
+        let steps = 20;
+        s.run(steps);
+        let amp1 = mode_amplitude(s.state(), theta[0]);
+        let measured = (amp1 / amp0).powf(1.0 / steps as f64);
+        let predicted = amplification_factor(velocity, nu, theta);
+        assert!(
+            (measured - predicted).abs() < 1e-6,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    fn advect_core_field(n: usize, theta: f64) -> crate::field::Field3 {
+        let mut f = crate::field::Field3::new(n, n, n, 1);
+        f.fill_interior(|x, _, _| (theta * x as f64).cos());
+        f
+    }
+
+    /// Amplitude of the cosine mode via discrete Fourier projection.
+    fn mode_amplitude(f: &crate::field::Field3, theta: f64) -> f64 {
+        let (nx, ny, nz) = f.interior();
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for x in 0..nx as i64 {
+            let mut line = 0.0;
+            for y in 0..ny as i64 {
+                for z in 0..nz as i64 {
+                    line += f.at(x, y, z);
+                }
+            }
+            re += line * (theta * x as f64).cos();
+            im += line * (theta * x as f64).sin();
+        }
+        (re.hypot(im)) / (nx * ny * nz) as f64
+    }
+}

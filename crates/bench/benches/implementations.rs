@@ -1,0 +1,58 @@
+//! Functional step cost of each of the nine implementations on the
+//! simulated substrates (small grid): the wall-clock counterpart of
+//! Figures 9/10's modeled comparison.
+
+use advect_core::stepper::AdvectionProblem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use overlap::{Impl, RunConfig};
+use simgpu::GpuSpec;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_implementations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("implementations");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let problem = AdvectionProblem::general_case(12);
+    let spec = GpuSpec::tesla_c2050();
+    for im in Impl::ALL {
+        let cfg = RunConfig::new(problem, 2)
+            .tasks(if im.uses_mpi() { 4 } else { 1 })
+            .with_threads(2)
+            .with_block((8, 8))
+            .with_thickness(1);
+        g.bench_function(im.section(), |b| {
+            b.iter(|| black_box(im.run(&cfg, Some(&spec))))
+        });
+    }
+    // The deep-halo extension at widths 1-3.
+    for w in [1usize, 2, 3] {
+        let cfg = RunConfig::new(problem, 3).tasks(4).with_threads(2);
+        g.bench_function(format!("deep_halo_w{w}"), |b| {
+            b.iter(|| black_box(overlap::DeepHaloBulkSync::run(&cfg, w)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stability_analysis(c: &mut Criterion) {
+    use advect_core::coeffs::Velocity;
+    let mut g = c.benchmark_group("von_neumann");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("max_amplification_720", |b| {
+        b.iter(|| {
+            black_box(advect_core::max_amplification(
+                Velocity::new(1.0, 0.5, 0.25),
+                0.9,
+                720,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_implementations, bench_stability_analysis);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! One bench per regenerated table/figure: the cost of producing each
+//! output of the paper's evaluation from the models. Useful both as a
+//! regression guard on the harness and as the canonical "regenerate
+//! everything" entry point under `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_each_figure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regenerate");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    type Gen = (&'static str, fn() -> figures::FigureData);
+    let generators: Vec<Gen> = vec![
+        ("table1", figures::tables::table1),
+        ("fig02_loc", figures::loc::fig02),
+        ("fig03_jaguar", figures::cpu_figs::fig03),
+        ("fig04_hopper", figures::cpu_figs::fig04),
+        ("fig05_jaguar_threads", figures::cpu_figs::fig05),
+        ("fig06_hopper_threads", figures::cpu_figs::fig06),
+        ("fig07_lens_blocks", figures::gpu_figs::fig07),
+        ("fig08_yona_blocks", figures::gpu_figs::fig08),
+        ("fig09_lens_impls", figures::cluster_figs::fig09),
+        ("fig10_yona_impls", figures::cluster_figs::fig10),
+        ("fig11_lens_combos", figures::cluster_figs::fig11),
+        ("fig12_yona_combos", figures::cluster_figs::fig12),
+        ("anchors_v_e", figures::cluster_figs::anchors),
+    ];
+    for (name, gen) in generators {
+        g.bench_function(name, |b| b.iter(|| black_box(gen())));
+    }
+    g.bench_function("table2", |b| b.iter(|| black_box(figures::tables::table2_text())));
+    g.bench_function("report_all_claims", |b| {
+        b.iter(|| black_box(figures::report::evaluate_claims()))
+    });
+    g.finish();
+}
+
+fn bench_tuning(c: &mut Criterion) {
+    use perfmodel::gpu::GpuImpl;
+    let mut g = c.benchmark_group("tuner");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let m = machine::yona();
+    let space = tuner::SearchSpace::for_machine(&m);
+    g.bench_function("exhaustive_yona_4_nodes", |b| {
+        b.iter(|| {
+            let obj = tuner::Objective::new(&m, GpuImpl::HybridOverlap, 4 * 12);
+            black_box(tuner::exhaustive(&obj, &space))
+        })
+    });
+    g.bench_function("multistart_descent_yona_4_nodes", |b| {
+        b.iter(|| {
+            let obj = tuner::Objective::new(&m, GpuImpl::HybridOverlap, 4 * 12);
+            black_box(tuner::multistart_descent(&obj, &space))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_each_figure, bench_tuning);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Benches of the simulated substrates themselves: message passing
+//! (simmpi), halo exchange over it, and the simulated GPU's dispatch
+//! overheads — the costs a user of this library actually pays.
+
+use advect_core::field::Field3;
+use criterion::{criterion_group, criterion_main, Criterion};
+use decomp::{Decomposition, ExchangePlan};
+use overlap::halo::exchange_halos;
+use simgpu::{FieldDims, Gpu, GpuSpec, StencilLaunch, Stream};
+use simmpi::World;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_message_passing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simmpi");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("ring_1k_doubles_4_ranks", |b| {
+        b.iter(|| {
+            World::run(4, |comm| {
+                let right = (comm.rank() + 1) % 4;
+                let left = (comm.rank() + 3) % 4;
+                let req = comm.irecv(left, 0);
+                comm.send(right, 0, vec![1.0; 1024]);
+                black_box(req.wait());
+            })
+        })
+    });
+    g.bench_function("allreduce_8_ranks_x16", |b| {
+        b.iter(|| {
+            World::run(8, |comm| {
+                let mut acc = 0.0;
+                for _ in 0..16 {
+                    acc += comm.allreduce_sum(comm.rank() as f64);
+                }
+                acc
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_halo_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("halo_exchange");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for ntasks in [1usize, 8] {
+        g.bench_function(format!("grid24_{ntasks}_tasks"), |b| {
+            let d = Decomposition::new(ntasks, (24, 24, 24));
+            b.iter(|| {
+                let dref = &d;
+                World::run(ntasks, move |comm| {
+                    let sub = dref.subdomains[comm.rank()];
+                    let mut f = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
+                    f.fill_interior(|x, y, z| (x + y + z) as f64);
+                    let plan = ExchangePlan::new(sub.extent, 1);
+                    exchange_halos(&mut f, &plan, dref, comm.rank(), comm);
+                    black_box(f.at(0, 0, 0))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simgpu_dispatch");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let gpu = Gpu::new(GpuSpec::tesla_c2050());
+    gpu.set_constant([1.0 / 27.0; 27]);
+    let dims = FieldDims {
+        nx: 16,
+        ny: 16,
+        nz: 16,
+        halo: 0,
+    };
+    let a = gpu.alloc(dims.len());
+    let b_buf = gpu.alloc(dims.len());
+    g.bench_function("kernel_launch_16cubed", |bch| {
+        bch.iter(|| {
+            gpu.launch_stencil(
+                Stream::DEFAULT,
+                a,
+                b_buf,
+                StencilLaunch {
+                    dims,
+                    region: dims.interior(),
+                    block: (8, 8),
+                    periodic: true,
+                },
+            );
+            gpu.sync_device();
+        })
+    });
+    let staging = gpu.alloc(4096);
+    let mut host = vec![0.0; 4096];
+    g.bench_function("pcie_roundtrip_4k", |bch| {
+        bch.iter(|| {
+            gpu.h2d(Stream::DEFAULT, &host, staging, 0);
+            gpu.d2h(Stream::DEFAULT, staging, 0, &mut host);
+            gpu.sync_device();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_message_passing, bench_halo_exchange, bench_gpu_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Bench helpers live in the bench targets; this crate exists to host
+//! the Criterion bench suite (see benches/).

@@ -1,0 +1,241 @@
+//! The dimension-serialized 6-phase halo exchange.
+//!
+//! Each MPI task has 26 neighbors, but "the dimensions are serialized so
+//! that the x corners can be sent to y neighbors, and x and y to z. This
+//! well-established strategy reduces the number of neighbor exchanges from
+//! 26 to 6." This module computes the exact send and receive regions for
+//! each of the six transfers, for any subdomain extent and halo width.
+//!
+//! Regions are in interior-relative coordinates of the local field
+//! (halo coordinates are negative or ≥ the extent). Tags encode
+//! *which plane* was sent — `2·dim` for a low plane, `2·dim + 1` for a
+//! high plane — so exchanges remain unambiguous even when a task is its
+//! own neighbor or has the same task on both sides (process grids of
+//! width 1 or 2 in a dimension).
+
+use advect_core::field::Range3;
+
+/// One of the six transfers of a full halo exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Dimension of the exchange (0 = x, 1 = y, 2 = z).
+    pub dim: usize,
+    /// Direction of the neighbor this transfer **sends to**: -1 or +1.
+    /// The matching receive comes from the opposite neighbor.
+    pub send_dir: i32,
+    /// Interior region packed and sent.
+    pub send_region: Range3,
+    /// Halo region the received data is unpacked into.
+    pub recv_region: Range3,
+    /// Tag attached to the sent message.
+    pub send_tag: u64,
+    /// Tag expected on the received message.
+    pub recv_tag: u64,
+}
+
+impl Transfer {
+    /// Number of points moved in each direction.
+    pub fn message_len(&self) -> usize {
+        self.send_region.len()
+    }
+}
+
+/// Both transfers of one dimension's phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasePlan {
+    /// Dimension of this phase.
+    pub dim: usize,
+    /// The low-plane and high-plane transfers.
+    pub transfers: [Transfer; 2],
+}
+
+/// The full 3-phase (6-transfer) halo-exchange plan for one subdomain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangePlan {
+    /// Subdomain interior extent.
+    pub extent: (usize, usize, usize),
+    /// Halo width.
+    pub halo: usize,
+    /// Phases in execution order: x, then y, then z.
+    pub phases: [PhasePlan; 3],
+}
+
+impl ExchangePlan {
+    /// Build the plan for a subdomain of the given interior extent and
+    /// halo width.
+    pub fn new(extent: (usize, usize, usize), halo: usize) -> Self {
+        assert!(halo > 0, "halo width must be positive");
+        let n = [extent.0 as i64, extent.1 as i64, extent.2 as i64];
+        let h = halo as i64;
+        // Range of dimension `d` during phase `phase`: dimensions already
+        // exchanged are extended into the halo; later dimensions are
+        // interior-only.
+        let span = |d: usize, phase: usize| -> (i64, i64) {
+            if d < phase {
+                (-h, n[d] + h)
+            } else {
+                (0, n[d])
+            }
+        };
+        let phases = [0usize, 1, 2].map(|dim| {
+            let make = |send_dir: i32| -> Transfer {
+                let (send_x, recv_x) = if send_dir < 0 {
+                    // Send my low planes to the minus neighbor; receive the
+                    // plus neighbor's low planes into my high halo.
+                    ((0, h), (n[dim], n[dim] + h))
+                } else {
+                    // Send my high planes; receive into my low halo.
+                    ((n[dim] - h, n[dim]), (-h, 0))
+                };
+                let mut send = [span(0, dim), span(1, dim), span(2, dim)];
+                let mut recv = send;
+                send[dim] = send_x;
+                recv[dim] = recv_x;
+                // Tag names the plane that was sent: low or high. The
+                // receive pairing is symmetric: my low-plane send (to the
+                // minus neighbor) matches the plus neighbor's low-plane
+                // send arriving in my high halo — the same tag.
+                let send_tag = 2 * dim as u64 + u64::from(send_dir > 0);
+                let recv_tag = send_tag;
+                Transfer {
+                    dim,
+                    send_dir,
+                    send_region: Range3::new(send[0], send[1], send[2]),
+                    recv_region: Range3::new(recv[0], recv[1], recv[2]),
+                    send_tag,
+                    recv_tag,
+                }
+            };
+            PhasePlan {
+                dim,
+                transfers: [make(-1), make(1)],
+            }
+        });
+        Self {
+            extent,
+            halo,
+            phases,
+        }
+    }
+
+    /// Total points sent per full exchange (both directions, all phases).
+    pub fn total_sent(&self) -> usize {
+        self.phases
+            .iter()
+            .flat_map(|p| p.transfers.iter())
+            .map(|t| t.message_len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_recv_volumes_match() {
+        let plan = ExchangePlan::new((5, 7, 9), 1);
+        for phase in &plan.phases {
+            for t in &phase.transfers {
+                assert_eq!(t.send_region.len(), t.recv_region.len());
+                assert!(t.message_len() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_extents_grow_with_serialization() {
+        let plan = ExchangePlan::new((4, 4, 4), 1);
+        // x phase: 1×4×4 planes.
+        assert_eq!(plan.phases[0].transfers[0].message_len(), 16);
+        // y phase: (4+2)×1×4 planes — includes x halo (corners ride along).
+        assert_eq!(plan.phases[1].transfers[0].message_len(), 24);
+        // z phase: (4+2)×(4+2)×1 planes.
+        assert_eq!(plan.phases[2].transfers[0].message_len(), 36);
+    }
+
+    #[test]
+    fn six_transfers_cover_full_halo() {
+        // The union of recv regions plus the interior must equal the full
+        // allocation: every halo point is written exactly once.
+        let (nx, ny, nz) = (3usize, 4, 5);
+        let plan = ExchangePlan::new((nx, ny, nz), 1);
+        let mut counts =
+            vec![vec![vec![0u8; nz + 2]; ny + 2]; nx + 2];
+        for phase in &plan.phases {
+            for t in &phase.transfers {
+                for (x, y, z) in t.recv_region.iter() {
+                    counts[(x + 1) as usize][(y + 1) as usize][(z + 1) as usize] += 1;
+                }
+            }
+        }
+        for x in -1i64..=nx as i64 {
+            for y in -1i64..=ny as i64 {
+                for z in -1i64..=nz as i64 {
+                    let interior =
+                        x >= 0 && x < nx as i64 && y >= 0 && y < ny as i64 && z >= 0 && z < nz as i64;
+                    let c = counts[(x + 1) as usize][(y + 1) as usize][(z + 1) as usize];
+                    if interior {
+                        assert_eq!(c, 0, "interior point ({x},{y},{z}) written by exchange");
+                    } else {
+                        assert_eq!(c, 1, "halo point ({x},{y},{z}) written {c} times");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn send_regions_are_interior_or_previously_received() {
+        // A send region may only contain interior points or halo points in
+        // dimensions exchanged in *earlier* phases.
+        let (nx, ny, nz) = (4i64, 5, 6);
+        let plan = ExchangePlan::new((4, 5, 6), 1);
+        for (pi, phase) in plan.phases.iter().enumerate() {
+            for t in &phase.transfers {
+                for (x, y, z) in t.send_region.iter() {
+                    let halo_dims: Vec<usize> = [(x, nx), (y, ny), (z, nz)]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(v, n))| v < 0 || v >= n)
+                        .map(|(d, _)| d)
+                        .collect();
+                    for d in halo_dims {
+                        assert!(d < pi, "phase {pi} sends halo of dim {d} not yet exchanged");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tags_disambiguate_two_wide_grids() {
+        let plan = ExchangePlan::new((4, 4, 4), 1);
+        for phase in &plan.phases {
+            let [a, b] = &phase.transfers;
+            // The two messages a rank can receive from the *same* peer in
+            // one phase must carry different tags.
+            assert_ne!(a.recv_tag, b.recv_tag);
+            assert_ne!(a.send_tag, b.send_tag);
+            // A transfer's receive expects the peer's *same-direction*
+            // send: my low-plane send pairs with the plus neighbor's
+            // low-plane send landing in my high halo.
+            assert_eq!(a.send_tag, a.recv_tag);
+            assert_eq!(b.send_tag, b.recv_tag);
+        }
+    }
+
+    #[test]
+    fn halo_width_two_scales_regions() {
+        let plan = ExchangePlan::new((6, 6, 6), 2);
+        assert_eq!(plan.phases[0].transfers[0].message_len(), 2 * 6 * 6);
+        assert_eq!(plan.phases[1].transfers[0].message_len(), 10 * 2 * 6);
+        assert_eq!(plan.phases[2].transfers[0].message_len(), 10 * 10 * 2);
+    }
+
+    #[test]
+    fn total_sent_counts_all_six() {
+        let plan = ExchangePlan::new((4, 4, 4), 1);
+        assert_eq!(plan.total_sent(), 2 * (16 + 24 + 36));
+    }
+}

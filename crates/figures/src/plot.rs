@@ -1,0 +1,214 @@
+//! ASCII line plots for figure data.
+//!
+//! The paper's scaling figures are log-log GF-vs-cores plots; this module
+//! renders the same shape in a terminal: one glyph per series, log-scaled
+//! axes where requested, a legend, and axis labels. Deliberately
+//! dependency-free.
+
+use crate::data::FigureData;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&', '$', '~'];
+
+/// Options for ASCII plotting.
+#[derive(Debug, Clone, Copy)]
+pub struct PlotOptions {
+    /// Plot width in columns (interior of the frame).
+    pub width: usize,
+    /// Plot height in rows.
+    pub height: usize,
+    /// Log-scale the x axis.
+    pub log_x: bool,
+    /// Log-scale the y axis.
+    pub log_y: bool,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        Self {
+            width: 64,
+            height: 20,
+            log_x: true,
+            log_y: true,
+        }
+    }
+}
+
+fn transform(v: f64, log: bool) -> f64 {
+    if log {
+        v.max(1e-12).log10()
+    } else {
+        v
+    }
+}
+
+/// Render the figure as an ASCII plot with a legend.
+pub fn render_plot(fig: &FigureData, opts: PlotOptions) -> String {
+    let (w, h) = (opts.width.max(16), opts.height.max(6));
+    let pts: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|p| p.1.is_finite() && p.1 > 0.0)
+        .collect();
+    if pts.is_empty() {
+        return format!("== {} — {} ==\n(no data)\n", fig.id, fig.title);
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &pts {
+        let tx = transform(x, opts.log_x);
+        let ty = transform(y, opts.log_y);
+        x0 = x0.min(tx);
+        x1 = x1.max(tx);
+        y0 = y0.min(ty);
+        y1 = y1.max(ty);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut canvas = vec![vec![' '; w]; h];
+    for (si, s) in fig.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            if !(y.is_finite() && y > 0.0) {
+                continue;
+            }
+            let tx = transform(x, opts.log_x);
+            let ty = transform(y, opts.log_y);
+            let col = (((tx - x0) / (x1 - x0)) * (w - 1) as f64).round() as usize;
+            let row = (((ty - y0) / (y1 - y0)) * (h - 1) as f64).round() as usize;
+            let r = h - 1 - row.min(h - 1);
+            let c = col.min(w - 1);
+            // Later series overwrite; collisions show the later glyph.
+            canvas[r][c] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {} — {} ==\n", fig.id, fig.title));
+    let y_top = if opts.log_y { 10f64.powf(y1) } else { y1 };
+    let y_bot = if opts.log_y { 10f64.powf(y0) } else { y0 };
+    out.push_str(&format!("{:>10} ┤\n", format_si(y_top)));
+    for row in canvas {
+        out.push_str("           │");
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} └{}\n", format_si(y_bot), "─".repeat(w)));
+    let x_left = if opts.log_x { 10f64.powf(x0) } else { x0 };
+    let x_right = if opts.log_x { 10f64.powf(x1) } else { x1 };
+    out.push_str(&format!(
+        "{:>12}{:>width$}\n",
+        format_si(x_left),
+        format_si(x_right),
+        width = w
+    ));
+    out.push_str(&format!(
+        "            x: {} ({}), y: {} ({})\n",
+        fig.x_label,
+        if opts.log_x { "log" } else { "linear" },
+        fig.y_label,
+        if opts.log_y { "log" } else { "linear" },
+    ));
+    for (si, s) in fig.series.iter().enumerate() {
+        out.push_str(&format!(
+            "            {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+/// Human-scale number formatting (1.2k, 3.4M).
+fn format_si(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Series;
+
+    fn sample() -> FigureData {
+        FigureData {
+            id: "t",
+            title: "sample".into(),
+            x_label: "cores",
+            y_label: "GF",
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![(12.0, 10.0), (120.0, 100.0), (1200.0, 800.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(12.0, 8.0), (120.0, 60.0), (1200.0, 900.0)],
+                },
+            ],
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn plot_contains_glyphs_and_legend() {
+        let p = render_plot(&sample(), PlotOptions::default());
+        assert!(p.contains('o'));
+        assert!(p.contains('+'));
+        assert!(p.contains("o a"));
+        assert!(p.contains("+ b"));
+        assert!(p.contains("log"));
+    }
+
+    #[test]
+    fn monotone_series_rises_left_to_right() {
+        let p = render_plot(&sample(), PlotOptions::default());
+        // The first 'o' (leftmost) must be on a lower row than the last.
+        let rows: Vec<(usize, usize)> = p
+            .lines()
+            .enumerate()
+            .flat_map(|(r, l)| l.char_indices().filter(move |(_, ch)| *ch == 'o').map(move |(c, _)| (r, c)))
+            .collect();
+        let leftmost = rows.iter().min_by_key(|(_, c)| *c).unwrap();
+        let rightmost = rows.iter().max_by_key(|(_, c)| *c).unwrap();
+        assert!(leftmost.0 > rightmost.0, "left {leftmost:?} right {rightmost:?}");
+    }
+
+    #[test]
+    fn empty_figure_is_harmless() {
+        let f = FigureData {
+            id: "e",
+            title: "empty".into(),
+            x_label: "x",
+            y_label: "y",
+            series: vec![],
+            notes: vec![],
+        };
+        assert!(render_plot(&f, PlotOptions::default()).contains("no data"));
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(format_si(12.0), "12");
+        assert_eq!(format_si(49152.0), "49.2k");
+        assert_eq!(format_si(1.25), "1.25");
+    }
+
+    #[test]
+    fn real_figures_plot_without_panicking() {
+        for f in crate::all_figures() {
+            let _ = render_plot(&f, PlotOptions::default());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Table I (stencil coefficients) and Table II (machines).
+
+use crate::data::{FigureData, Series};
+use advect_core::coeffs::{Stencil27, Velocity};
+use machine::all_machines;
+
+/// Table I: the 27 coefficients, evaluated at a representative velocity.
+///
+/// The table is symbolic in the paper; we render it numerically at the
+/// general test velocity and assert the structural identities
+/// (Σa = 1, first/second moments) in the notes.
+pub fn table1() -> FigureData {
+    let v = Velocity::new(1.0, 0.5, 0.25);
+    let nu = 0.9;
+    let s = Stencil27::new(v, nu);
+    let mut points = Vec::new();
+    for k in -1i32..=1 {
+        for j in -1i32..=1 {
+            for i in -1i32..=1 {
+                let idx = Stencil27::offset_index(i, j, k);
+                points.push((idx as f64, s.at(i, j, k)));
+            }
+        }
+    }
+    FigureData {
+        id: "table1",
+        title: format!(
+            "Coefficients a_ijk at c = ({}, {}, {}), nu = {} (flat index = (i+1)+3(j+1)+9(k+1))",
+            v.cx, v.cy, v.cz, nu
+        ),
+        x_label: "index",
+        y_label: "a_ijk",
+        series: vec![Series {
+            label: "a_ijk".into(),
+            points,
+        }],
+        notes: vec![
+            format!("sum of coefficients = {} (consistency requires 1)", s.sum()),
+            format!(
+                "first moments = ({:.6}, {:.6}, {:.6}) — must equal -c_d*nu",
+                s.first_moment(0),
+                s.first_moment(1),
+                s.first_moment(2)
+            ),
+            "Table I transcription and tensor-product construction agree to machine \
+             precision (advect-core::coeffs tests)"
+                .into(),
+        ],
+    }
+}
+
+/// Table II: technical details of the tested computers.
+pub fn table2_text() -> String {
+    let machines = all_machines();
+    let mut out = String::from("== table2 — Technical details of tested computers ==\n");
+    let row = |label: &str, f: &dyn Fn(&machine::Machine) -> String| -> String {
+        let mut line = format!("{label:<28}");
+        for m in &machines {
+            line.push_str(&format!(" {:>16}", f(m)));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&row("System", &|m| m.name.to_string()));
+    out.push_str(&row("Compute nodes", &|m| m.nodes.to_string()));
+    out.push_str(&row("Memory per node (GB)", &|m| m.mem_per_node_gb.to_string()));
+    out.push_str(&row("Opteron sockets per node", &|m| m.cpu.sockets.to_string()));
+    out.push_str(&row("Cores per socket", &|m| m.cpu.cores_per_socket.to_string()));
+    out.push_str(&row("Opteron clock (GHz)", &|m| format!("{}", m.cpu.clock_ghz)));
+    out.push_str(&row("Interconnect", &|m| m.net.name.to_string()));
+    out.push_str(&row("MPI", &|m| m.mpi.to_string()));
+    out.push_str(&row("NVIDIA Tesla GPU", &|m| {
+        m.gpu
+            .as_ref()
+            .map(|g| g.name.trim_start_matches("Tesla ").to_string())
+            .unwrap_or_else(|| "-".into())
+    }));
+    out.push_str(&row("GPU memory (GB)", &|m| {
+        m.gpu
+            .as_ref()
+            .map(|g| format!("{}", g.mem_gib))
+            .unwrap_or_else(|| "-".into())
+    }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_27_coefficients_summing_to_one() {
+        let t = table1();
+        assert_eq!(t.series[0].points.len(), 27);
+        let sum: f64 = t.series[0].points.iter().map(|p| p.1).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_lists_all_four_machines() {
+        let t = table2_text();
+        for name in ["JaguarPF", "Hopper II", "Lens", "Yona"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+        assert!(t.contains("SeaStar"));
+        assert!(t.contains("C2050"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # machine
+//!
+//! Hardware descriptions and cost primitives for the four computers of
+//! Table II — JaguarPF (Cray XT5), Hopper II (Cray XE6), Lens (DDR
+//! Infiniband + Tesla C1060), and Yona (QDR Infiniband + Tesla C2050) —
+//! plus the model parameters the `perfmodel` crate uses to regenerate the
+//! paper's figures: per-node stencil compute rates, OpenMP region
+//! overheads, NUMA effects, and per-message interconnect costs.
+//!
+//! Table II values are encoded verbatim; model parameters (bandwidths,
+//! latencies, efficiencies) are calibrated against the anchors listed in
+//! DESIGN.md and recorded in EXPERIMENTS.md.
+
+pub mod catalog;
+pub mod cpu;
+pub mod net;
+
+pub use catalog::{all_machines, hopper_ii, jaguarpf, lens, yona, Machine};
+pub use cpu::CpuModel;
+pub use net::InterconnectModel;

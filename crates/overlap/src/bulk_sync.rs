@@ -1,0 +1,74 @@
+//! Implementation IV-B: bulk-synchronous MPI.
+//!
+//! Each step performs the whole halo exchange (dimension-serialized,
+//! nonblocking receives posted first), then the full local stencil, then
+//! the state copy — no overlap of communication and computation.
+
+use crate::halo::exchange_halos;
+use crate::runner::{assemble_global, local_initial_field, RunConfig};
+use advect_core::field::Field3;
+use advect_core::stencil::{apply_stencil_slab, copy_region_slab};
+use advect_core::team::{split_static, ThreadTeam};
+use decomp::ExchangePlan;
+use simmpi::World;
+
+/// The bulk-synchronous distributed implementation.
+pub struct BulkSyncMpi;
+
+impl BulkSyncMpi {
+    /// Run and return the assembled global state (from rank 0).
+    pub fn run(cfg: &RunConfig) -> Field3 {
+        Self::run_with_report(cfg).0
+    }
+
+    /// Run, returning the global state plus per-rank substrate statistics.
+    pub fn run_with_report(cfg: &RunConfig) -> (Field3, crate::runner::RunReport) {
+        let decomp = cfg.decomposition();
+        let decomp_ref = &decomp;
+        let results = World::run(cfg.ntasks, move |comm| {
+            let rank = comm.rank();
+            let sub = decomp_ref.subdomains[rank];
+            let mut cur = local_initial_field(cfg, decomp_ref, rank);
+            let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
+            let plan = ExchangePlan::new(sub.extent, 1);
+            let team = ThreadTeam::new(cfg.threads);
+            let cuts = z_cuts(sub.extent.2, cfg.threads);
+            let region = cur.interior_range();
+            comm.barrier(); // the paper barriers before starting the timer
+            for _ in 0..cfg.steps {
+                // Step 1: full exchange, master thread drives communication.
+                exchange_halos(&mut cur, &plan, decomp_ref, rank, comm);
+                // Step 2: stencil over the whole interior, threaded by z-slab.
+                {
+                    let src = &cur;
+                    let stencil = cfg.problem.stencil();
+                    let slabs = new.z_slabs_mut(&cuts);
+                    team.parallel_with(slabs, |_ctx, mut slab| {
+                        apply_stencil_slab(src, &mut slab, &stencil, region);
+                    });
+                }
+                // Step 3: copy new state to current state.
+                {
+                    let src = &new;
+                    let slabs = cur.z_slabs_mut(&cuts);
+                    team.parallel_with(slabs, |_ctx, mut slab| {
+                        copy_region_slab(src, &mut slab, region);
+                    });
+                }
+            }
+            comm.barrier();
+            (assemble_global(cfg, decomp_ref, comm, &cur), comm.stats(), None)
+        });
+        crate::runner::collect_report(results)
+    }
+}
+
+/// Static z cut points for a thread team (deduplicated for thin domains).
+pub(crate) fn z_cuts(nz: usize, threads: usize) -> Vec<i64> {
+    let t = threads.min(nz).max(1);
+    let mut cuts: Vec<i64> = (1..t)
+        .map(|p| split_static(0..nz, t, p).start as i64)
+        .collect();
+    cuts.dedup();
+    cuts
+}

@@ -1,0 +1,70 @@
+//! Implementation IV-E: GPU resident.
+//!
+//! The whole problem lives in GPU global memory for the length of the
+//! computation, with no memory exchanges with the CPU: the layout is
+//! halo-free and the kernel's halo threads wrap around the global domain
+//! to implement periodicity. The CPU issues one kernel call per step,
+//! flipping the arguments between two state buffers. This is the
+//! best-case scenario the parallel GPU implementations are measured
+//! against (86 GF on Yona, Section V-E).
+
+use crate::runner::RunConfig;
+use advect_core::field::Field3;
+use simgpu::{FieldDims, Gpu, GpuSpec, StencilLaunch, Stream};
+
+/// The single-GPU resident implementation.
+pub struct GpuResident;
+
+impl GpuResident {
+    /// Run on a device of the given spec; returns the final state.
+    pub fn run(cfg: &RunConfig, spec: &GpuSpec) -> Field3 {
+        assert_eq!(cfg.ntasks, 1, "IV-E runs on a single task");
+        let gpu = Gpu::new(spec.clone());
+        Self::run_on(cfg, &gpu)
+    }
+
+    /// Run on an existing device (lets callers inspect device stats).
+    pub fn run_on(cfg: &RunConfig, gpu: &Gpu) -> Field3 {
+        let n = cfg.problem.n;
+        let dims = FieldDims {
+            nx: n,
+            ny: n,
+            nz: n,
+            halo: 0,
+        };
+        gpu.set_constant(cfg.problem.stencil().a);
+        let init = cfg.problem.initial_field();
+        let mut flat = vec![0.0; dims.len()];
+        for (x, y, z) in dims.interior().iter() {
+            flat[dims.idx(x, y, z)] = init.at(x, y, z);
+        }
+        let mut cur = gpu.alloc(dims.len());
+        let mut new = gpu.alloc(dims.len());
+        gpu.upload_untimed(cur, &flat);
+        // The CPU and GPU synchronize immediately before timer calls; the
+        // initial copy is excluded from measurement.
+        gpu.sync_device();
+        gpu.reset_clock();
+        for _ in 0..cfg.steps {
+            gpu.launch_stencil(
+                Stream::DEFAULT,
+                cur,
+                new,
+                StencilLaunch {
+                    dims,
+                    region: dims.interior(),
+                    block: cfg.block,
+                    periodic: true,
+                },
+            );
+            std::mem::swap(&mut cur, &mut new);
+        }
+        gpu.sync_device();
+        let data = gpu.read_untimed(cur);
+        let mut out = Field3::new(n, n, n, 1);
+        for (x, y, z) in dims.interior().iter() {
+            *out.at_mut(x, y, z) = data[dims.idx(x, y, z)];
+        }
+        out
+    }
+}

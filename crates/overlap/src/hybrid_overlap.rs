@@ -1,0 +1,189 @@
+//! Implementation IV-I: CPU and GPU computation partitioned for overlap
+//! with nonblocking MPI and CPU-GPU communication.
+//!
+//! The most-extensive overlap, and the paper's best performer. Same
+//! kernels and Figure 1 decomposition as IV-H, but:
+//!
+//! * the GPU interior runs on one stream while a second stream carries
+//!   the halo-ring upload, the GPU boundary kernels, and the new
+//!   boundary-ring download — so GPU compute, PCIe traffic, and CPU work
+//!   all overlap;
+//! * MPI communication in each dimension overlaps the computation of the
+//!   CPU interior/inner-boundary points of that dimension's walls; the
+//!   outer boundary points (which need MPI halos) come last;
+//! * the new GPU boundary ring is downloaded *this* step into the new
+//!   state, so the next step needs no blocking ring download — this is
+//!   the decoupling of MPI communication from CPU-GPU communication that
+//!   Section V-E identifies as the real win.
+
+use crate::gpu_common::DeviceField;
+use crate::runner::{assemble_global, local_initial_field, RunConfig};
+use advect_core::field::{Field3, SharedField};
+use advect_core::stencil::apply_stencil_cells;
+use advect_core::team::ThreadTeam;
+use decomp::partition::{shell_and_core, BoxPartition};
+use decomp::ExchangePlan;
+use simgpu::{Gpu, GpuSpec, StencilLaunch, Stream};
+use simmpi::World;
+
+/// The full-overlap hybrid implementation.
+pub struct HybridOverlap;
+
+impl HybridOverlap {
+    /// Run and return the assembled global state (from rank 0).
+    ///
+    /// Panics if `cfg.thickness == 0`: the full-overlap schedule uploads
+    /// the GPU's halo ring *before* the MPI exchange, which is only
+    /// possible when a CPU veneer (thickness ≥ 1) separates the GPU block
+    /// from the MPI halo — precisely the decoupling Section V-E credits
+    /// for this implementation's performance. Thickness 0 is
+    /// implementation IV-G's territory.
+    pub fn run(cfg: &RunConfig, spec: &GpuSpec) -> Field3 {
+        Self::run_with_report(cfg, spec).0
+    }
+
+    /// Run, returning the global state plus per-rank substrate statistics.
+    pub fn run_with_report(cfg: &RunConfig, spec: &GpuSpec) -> (Field3, crate::runner::RunReport) {
+        assert!(
+            cfg.thickness >= 1,
+            "IV-I needs a CPU veneer (thickness >= 1); use IV-G for thickness 0"
+        );
+        let decomp = cfg.decomposition();
+        let decomp_ref = &decomp;
+        let results = World::run(cfg.ntasks, move |comm| {
+            let rank = comm.rank();
+            let sub = decomp_ref.subdomains[rank];
+            let gpu = Gpu::new(spec.clone());
+            gpu.set_constant(cfg.problem.stencil().a);
+            let mut cur = local_initial_field(cfg, decomp_ref, rank);
+            let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
+            let mut dev = DeviceField::from_host(&gpu, &cur);
+            let part = BoxPartition::new(sub.extent, cfg.thickness);
+            let plan = ExchangePlan::new(sub.extent, 1);
+            let team = ThreadTeam::new(cfg.threads);
+            let stencil = cfg.problem.stencil();
+            let full = cur.interior_range();
+            // Inner parts of walls (computable before MPI completes) vs.
+            // outer boundary points (touching the MPI halo).
+            let (inner1, outer_shell) = shell_and_core(full, 1);
+            let s_halo = gpu.create_stream();
+            comm.barrier();
+            for _ in 0..cfg.steps {
+                // 1. GPU interior kernel on the compute stream.
+                if !part.gpu_deep_interior.is_empty() {
+                    gpu.launch_stencil(
+                        Stream::DEFAULT,
+                        dev.cur,
+                        dev.new,
+                        StencilLaunch {
+                            dims: dev.dims,
+                            region: part.gpu_deep_interior,
+                            block: cfg.block,
+                            periodic: false,
+                        },
+                    );
+                }
+                // 2. Async halo-ring upload, boundary kernels, and new
+                //    boundary-ring download, all on the halo stream.
+                dev.regions_h2d(&gpu, s_halo, dev.cur, &part.gpu_halo_ring, &cur);
+                for &face in &part.gpu_boundary_ring {
+                    if face.is_empty() {
+                        continue;
+                    }
+                    gpu.launch_stencil(
+                        s_halo,
+                        dev.cur,
+                        dev.new,
+                        StencilLaunch {
+                            dims: dev.dims,
+                            region: face,
+                            block: cfg.block,
+                            periodic: false,
+                        },
+                    );
+                }
+                dev.regions_d2h(&gpu, s_halo, dev.new, &part.gpu_boundary_ring, &mut new);
+                // 3. Per-dimension: MPI phase overlapped with the inner
+                //    points of that dimension's walls. `cur` is shared
+                //    because the phase completion writes its halo while
+                //    wall computation reads its interior — disjoint points,
+                //    all routed through SharedField cells.
+                {
+                    let cur_shared = SharedField::new(&mut cur);
+                    let writer = SharedField::new(&mut new);
+                    for dim in 0..3 {
+                        let phase = &plan.phases[dim];
+                        let mut recvs = Vec::with_capacity(2);
+                        for (i, t) in phase.transfers.iter().enumerate() {
+                            let from = decomp_ref.neighbor(rank, t.dim, -t.send_dir);
+                            recvs.push((i, comm.irecv(from, t.recv_tag)));
+                        }
+                        for t in &phase.transfers {
+                            let to = decomp_ref.neighbor(rank, t.dim, t.send_dir);
+                            comm.send(to, t.send_tag, cur_shared.pack(t.send_region));
+                        }
+                        // Inner wall points of this dimension, overlapped
+                        // with the communication just initiated.
+                        let (lo, hi) = part.cpu_walls_of_dim(dim);
+                        let walls = [lo.intersect(&inner1), hi.intersect(&inner1)];
+                        let cur_ref = &cur_shared;
+                        let writer_ref = &writer;
+                        team.parallel(|ctx| {
+                            for (i, w) in walls.iter().enumerate() {
+                                if i % ctx.num_threads == ctx.tid && !w.is_empty() {
+                                    apply_stencil_cells(cur_ref, writer_ref, &stencil, *w);
+                                }
+                            }
+                        });
+                        for (i, req) in recvs {
+                            cur_shared.unpack(phase.transfers[i].recv_region, &req.wait());
+                        }
+                    }
+                    // 4. Outer boundary points of every wall (need halos).
+                    let mut outer_regions = Vec::new();
+                    for w in &part.cpu_walls {
+                        for s in &outer_shell {
+                            let r = w.intersect(s);
+                            if !r.is_empty() {
+                                outer_regions.push(r);
+                            }
+                        }
+                    }
+                    let cur_ref = &cur_shared;
+                    let writer_ref = &writer;
+                    team.parallel(|ctx| {
+                        for (i, w) in outer_regions.iter().enumerate() {
+                            if i % ctx.num_threads == ctx.tid {
+                                apply_stencil_cells(cur_ref, writer_ref, &stencil, *w);
+                            }
+                        }
+                    });
+                }
+                // 5. Synchronize the CUDA streams; advance the state.
+                gpu.sync_device();
+                for w in &part.cpu_walls {
+                    cur.copy_region_from(&new, *w);
+                }
+                for r in &part.gpu_boundary_ring {
+                    cur.copy_region_from(&new, *r);
+                }
+                dev.swap();
+            }
+            comm.barrier();
+            let mut final_host = cur.clone();
+            if !part.gpu_block.is_empty() {
+                gpu.sync_device();
+                let data = gpu.read_untimed(dev.cur);
+                for (x, y, z) in part.gpu_block.iter() {
+                    *final_host.at_mut(x, y, z) = data[dev.dims.idx(x, y, z)];
+                }
+            }
+            (
+                assemble_global(cfg, decomp_ref, comm, &final_host),
+                comm.stats(),
+                Some(gpu.stats()),
+            )
+        });
+        crate::runner::collect_report(results)
+    }
+}

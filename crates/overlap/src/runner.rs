@@ -1,0 +1,186 @@
+//! Shared run configuration and distributed-state assembly.
+
+use advect_core::field::Field3;
+use advect_core::stepper::AdvectionProblem;
+use decomp::Decomposition;
+use simmpi::Comm;
+
+/// Configuration shared by every implementation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// The advection problem (cubic grid).
+    pub problem: AdvectionProblem,
+    /// Time steps to take.
+    pub steps: u64,
+    /// MPI tasks (1 for the single-task and GPU-resident implementations).
+    pub ntasks: usize,
+    /// OpenMP threads per task.
+    pub threads: usize,
+    /// GPU thread-block shape for GPU implementations.
+    pub block: (usize, usize),
+    /// CPU box thickness for the hybrid implementations (Figure 1).
+    pub thickness: usize,
+}
+
+impl RunConfig {
+    /// A convenient default: given problem and steps, single task, one
+    /// thread, the paper's Yona block size, thickness 2.
+    pub fn new(problem: AdvectionProblem, steps: u64) -> Self {
+        Self {
+            problem,
+            steps,
+            ntasks: 1,
+            threads: 1,
+            block: (32, 8),
+            thickness: 2,
+        }
+    }
+
+    /// Set the task count.
+    pub fn tasks(mut self, n: usize) -> Self {
+        self.ntasks = n;
+        self
+    }
+
+    /// Set threads per task.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Set the GPU block shape.
+    pub fn with_block(mut self, b: (usize, usize)) -> Self {
+        self.block = b;
+        self
+    }
+
+    /// Set the CPU box thickness.
+    pub fn with_thickness(mut self, t: usize) -> Self {
+        self.thickness = t;
+        self
+    }
+
+    /// The decomposition this configuration induces.
+    pub fn decomposition(&self) -> Decomposition {
+        let n = self.problem.n;
+        Decomposition::new(self.ntasks, (n, n, n))
+    }
+}
+
+/// Per-run substrate statistics, one entry per rank.
+///
+/// Lets callers (and the instrumentation tests) verify *how* an
+/// implementation communicated — message counts, traffic volumes, kernel
+/// launches, PCIe transfers — independently of what it computed.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-rank message-passing counters.
+    pub comm: Vec<simmpi::CommStats>,
+    /// Per-rank device counters (empty for CPU-only implementations).
+    pub gpu: Vec<simgpu::GpuStats>,
+}
+
+impl RunReport {
+    /// Total point-to-point messages sent across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.comm.iter().map(|c| c.messages_sent).sum()
+    }
+
+    /// Total f64 values sent across all ranks.
+    pub fn total_values_sent(&self) -> u64 {
+        self.comm.iter().map(|c| c.values_sent).sum()
+    }
+
+    /// Total stencil kernel launches across all ranks.
+    pub fn total_stencil_launches(&self) -> u64 {
+        self.gpu.iter().map(|g| g.stencil_launches).sum()
+    }
+
+    /// Total host→device transfers across all ranks.
+    pub fn total_h2d_transfers(&self) -> u64 {
+        self.gpu.iter().map(|g| g.h2d_transfers).sum()
+    }
+
+    /// Total device→host transfers across all ranks.
+    pub fn total_d2h_transfers(&self) -> u64 {
+        self.gpu.iter().map(|g| g.d2h_transfers).sum()
+    }
+
+    /// Total f64 values moved over PCIe (both directions).
+    pub fn total_pcie_points(&self) -> u64 {
+        self.gpu.iter().map(|g| g.h2d_points + g.d2h_points).sum()
+    }
+}
+
+/// Assemble per-rank `(global, comm, gpu)` results into `(Field3,
+/// RunReport)` — shared tail of every implementation's `run_with_report`.
+pub(crate) fn collect_report(
+    results: Vec<(Option<Field3>, simmpi::CommStats, Option<simgpu::GpuStats>)>,
+) -> (Field3, RunReport) {
+    let mut report = RunReport::default();
+    let mut global = None;
+    for (g, c, d) in results {
+        if let Some(g) = g {
+            global = Some(g);
+        }
+        report.comm.push(c);
+        if let Some(d) = d {
+            report.gpu.push(d);
+        }
+    }
+    (
+        global.expect("rank 0 assembles the global state"),
+        report,
+    )
+}
+
+/// A rank's local field, allocated and filled from the global initial
+/// condition for its subdomain.
+pub fn local_initial_field(cfg: &RunConfig, decomp: &Decomposition, rank: usize) -> Field3 {
+    let sub = decomp.subdomains[rank];
+    let (nx, ny, nz) = sub.extent;
+    let (ox, oy, oz) = sub.offset;
+    let pulse = cfg.problem.pulse();
+    let d = cfg.problem.spacing;
+    let mut f = Field3::new(nx, ny, nz, 1);
+    f.fill_interior(|x, y, z| {
+        use advect_core::analytic::AnalyticSolution;
+        pulse.eval(
+            (ox as i64 + x) as f64 * d,
+            (oy as i64 + y) as f64 * d,
+            (oz as i64 + z) as f64 * d,
+            0.0,
+        )
+    });
+    f
+}
+
+/// Gather every rank's interior to rank 0 and assemble the global field.
+/// Returns `Some(global)` on rank 0, `None` elsewhere.
+pub fn assemble_global(
+    cfg: &RunConfig,
+    decomp: &Decomposition,
+    comm: &Comm,
+    local: &Field3,
+) -> Option<Field3> {
+    let sub = decomp.subdomains[comm.rank()];
+    let mut payload = vec![0.0; sub.len()];
+    local.pack(local.interior_range(), &mut payload);
+    let all = comm.gather_to_root(payload)?;
+    let n = cfg.problem.n;
+    let mut global = Field3::new(n, n, n, 1);
+    for (rank, data) in all.iter().enumerate() {
+        let s = decomp.subdomains[rank];
+        let (ox, oy, oz) = s.offset;
+        let mut i = 0;
+        for z in 0..s.extent.2 as i64 {
+            for y in 0..s.extent.1 as i64 {
+                for x in 0..s.extent.0 as i64 {
+                    *global.at_mut(ox as i64 + x, oy as i64 + y, oz as i64 + z) = data[i];
+                    i += 1;
+                }
+            }
+        }
+    }
+    Some(global)
+}

@@ -1,0 +1,19 @@
+//! Implementation IV-A: single task, multiple threads.
+
+use crate::runner::RunConfig;
+use advect_core::field::Field3;
+use advect_core::stepper::ThreadedStepper;
+
+/// The baseline: one task, OpenMP-style threading over the three
+/// algorithmic steps (halo copy, stencil, state copy).
+pub struct SingleTask;
+
+impl SingleTask {
+    /// Run the configured number of steps and return the final state.
+    pub fn run(cfg: &RunConfig) -> Field3 {
+        assert_eq!(cfg.ntasks, 1, "IV-A is a single-task implementation");
+        let mut stepper = ThreadedStepper::new(cfg.problem, cfg.threads);
+        stepper.run(cfg.steps);
+        stepper.state().clone()
+    }
+}

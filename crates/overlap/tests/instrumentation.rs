@@ -1,0 +1,140 @@
+//! Instrumentation tests: verify *how* each implementation communicates —
+//! message counts, traffic volumes, kernel launches, PCIe transfers — not
+//! just what it computes. These pin the schedules the performance models
+//! price.
+
+use advect_core::stepper::AdvectionProblem;
+use decomp::ExchangePlan;
+use overlap::{
+    BulkSyncMpi, DeepHaloBulkSync, GpuBulkSyncMpi, GpuStreamsMpi, HybridBulkSync, HybridOverlap,
+    NonblockingMpi, RunConfig,
+};
+use simgpu::GpuSpec;
+
+fn cfg(tasks: usize, steps: u64) -> RunConfig {
+    RunConfig::new(AdvectionProblem::general_case(12), steps)
+        .tasks(tasks)
+        .with_threads(2)
+        .with_block((8, 8))
+        .with_thickness(1)
+}
+
+#[test]
+fn bulk_sync_sends_six_messages_per_rank_per_step() {
+    let steps = 4u64;
+    let c = cfg(4, steps);
+    let (_, report) = BulkSyncMpi::run_with_report(&c);
+    for (rank, stats) in report.comm.iter().enumerate() {
+        assert_eq!(stats.messages_sent, 6 * steps, "rank {rank}");
+        assert_eq!(stats.messages_received, 6 * steps, "rank {rank}");
+    }
+    // Volume: each rank ships its exchange plan's total per step.
+    let decomp = c.decomposition();
+    let expected: u64 = (0..4)
+        .map(|r| ExchangePlan::new(decomp.subdomains[r].extent, 1).total_sent() as u64)
+        .sum();
+    assert_eq!(report.total_values_sent(), expected * steps);
+}
+
+#[test]
+fn nonblocking_moves_exactly_the_same_traffic_as_bulk_sync() {
+    // The overlap is temporal, not volumetric: same messages, same bytes.
+    let (_, bulk) = BulkSyncMpi::run_with_report(&cfg(4, 3));
+    let (_, nonblocking) = NonblockingMpi::run_with_report(&cfg(4, 3));
+    assert_eq!(bulk.total_messages(), nonblocking.total_messages());
+    assert_eq!(bulk.total_values_sent(), nonblocking.total_values_sent());
+}
+
+#[test]
+fn deep_halo_trades_messages_for_volume() {
+    let steps = 6u64;
+    let (_, w1) = DeepHaloBulkSync::run_with_report(&cfg(4, steps), 1);
+    let (_, w3) = DeepHaloBulkSync::run_with_report(&cfg(4, steps), 3);
+    // 3x fewer messages...
+    assert_eq!(w1.total_messages(), 3 * w3.total_messages());
+    // ...each carrying more data (3 planes plus wider corner extensions —
+    // on this small grid the per-message volume more than triples, which
+    // is exactly why deep halos only pay in the latency-dominated regime).
+    let per_msg_w1 = w1.total_values_sent() as f64 / w1.total_messages() as f64;
+    let per_msg_w3 = w3.total_values_sent() as f64 / w3.total_messages() as f64;
+    assert!(per_msg_w3 > 3.0 * per_msg_w1, "{per_msg_w3} vs {per_msg_w1}");
+}
+
+#[test]
+fn gpu_bulk_sync_moves_the_ring_every_step() {
+    let steps = 3u64;
+    let spec = GpuSpec::tesla_c2050();
+    let c = cfg(2, steps);
+    let (_, report) = GpuBulkSyncMpi::run_with_report(&c, &spec);
+    assert_eq!(report.gpu.len(), 2, "one device per rank");
+    for stats in &report.gpu {
+        // 6 boundary-ring faces out, 6 halo-ring faces in, per step.
+        assert_eq!(stats.d2h_transfers, 6 * steps);
+        assert_eq!(stats.h2d_transfers, 6 * steps);
+        // 6 face kernels + 1 interior kernel per step.
+        assert_eq!(stats.stencil_launches, 7 * steps);
+        // 6 packs + 6 unpacks per step.
+        assert_eq!(stats.pack_launches, 12 * steps);
+    }
+    // PCIe volume per rank per step: boundary ring + halo ring.
+    let decomp = c.decomposition();
+    let expected: u64 = (0..2)
+        .map(|r| {
+            let part = decomp::BoxPartition::new(decomp.subdomains[r].extent, 0);
+            (part.d2h_points() + part.h2d_points()) as u64
+        })
+        .sum();
+    assert_eq!(report.total_pcie_points(), expected * steps);
+}
+
+#[test]
+fn gpu_streams_moves_identical_traffic_to_gpu_bulk_sync() {
+    let spec = GpuSpec::tesla_c2050();
+    let (_, f) = GpuBulkSyncMpi::run_with_report(&cfg(2, 3), &spec);
+    let (_, g) = GpuStreamsMpi::run_with_report(&cfg(2, 3), &spec);
+    assert_eq!(f.total_pcie_points(), g.total_pcie_points());
+    assert_eq!(f.total_stencil_launches(), g.total_stencil_launches());
+    assert_eq!(f.total_messages(), g.total_messages());
+}
+
+#[test]
+fn hybrid_moves_less_pcie_than_gpu_only_for_thick_walls() {
+    // A thicker CPU box shrinks the GPU block, so its interface rings —
+    // and the PCIe traffic — shrink with it.
+    let spec = GpuSpec::tesla_c2050();
+    let thin = HybridBulkSync::run_with_report(&cfg(2, 2).with_thickness(1), &spec).1;
+    let thick = HybridBulkSync::run_with_report(&cfg(2, 2).with_thickness(3), &spec).1;
+    assert!(
+        thick.total_pcie_points() < thin.total_pcie_points(),
+        "thick {} vs thin {}",
+        thick.total_pcie_points(),
+        thin.total_pcie_points()
+    );
+}
+
+#[test]
+fn hybrid_overlap_pcie_traffic_is_ring_sized() {
+    let steps = 2u64;
+    let spec = GpuSpec::tesla_c2050();
+    let c = cfg(2, steps).with_thickness(2);
+    let (_, report) = HybridOverlap::run_with_report(&c, &spec);
+    let decomp = c.decomposition();
+    let expected: u64 = (0..2)
+        .map(|r| {
+            let part = decomp::BoxPartition::new(decomp.subdomains[r].extent, 2);
+            (part.d2h_points() + part.h2d_points()) as u64
+        })
+        .sum();
+    assert_eq!(report.total_pcie_points(), expected * steps);
+    // MPI traffic is the plain one-point exchange, independent of the box.
+    let (_, cpu_only) = BulkSyncMpi::run_with_report(&cfg(2, steps));
+    assert_eq!(report.total_values_sent(), cpu_only.total_values_sent());
+}
+
+#[test]
+fn single_node_self_exchange_still_counts_messages() {
+    // One task: all six messages are self-sends, still counted.
+    let (_, report) = BulkSyncMpi::run_with_report(&cfg(1, 2));
+    assert_eq!(report.comm[0].messages_sent, 12);
+    assert_eq!(report.comm[0].messages_received, 12);
+}

@@ -1,0 +1,483 @@
+//! Performance models for the GPU implementations (IV-E … IV-I).
+//!
+//! Each implementation's time step is composed as a discrete-event
+//! schedule ([`crate::event`]) over the node's resources: the GPU compute
+//! engine, the PCIe copy engines, the NIC, and the CPU team. The chains
+//! mirror the functional code in the `overlap` crate exactly:
+//!
+//! * **IV-F** chains everything: pack → D2H → MPI → H2D → unpack → face
+//!   kernels → interior kernel;
+//! * **IV-G** issues the interior kernel first, then runs the same halo
+//!   chain beside it;
+//! * **IV-H** adds CPU walls in parallel with the GPU kernels but keeps
+//!   the communication chain serial and up front;
+//! * **IV-I** decouples: the PCIe ring traffic (asynchronous, page-locked)
+//!   and GPU boundary kernels run beside the interior kernel, while the
+//!   MPI phases overlap CPU wall computation — no path contains both MPI
+//!   and PCIe.
+//!
+//! The blocking copies of IV-F/G/H run at the degraded *pageable* PCIe
+//! rate; IV-I's async copies run at the spec rate (see
+//! [`crate::params::pageable_pcie_gbs`]) — the mechanical reading of
+//! Section V-E's "decoupling of MPI communication and CPU-GPU
+//! communication".
+
+use crate::event::{Res, Schedule};
+use crate::params;
+use advect_core::flops::{FLOPS_PER_POINT, PAPER_GRID};
+use decomp::factor3;
+use machine::Machine;
+use simgpu::timing;
+
+/// Penalty of the halo-layout (non-periodic) kernels relative to the
+/// resident kernel: halo-offset rows break 128-byte alignment of global
+/// accesses. Keeps the best hybrid implementation just *under* the
+/// GPU-resident anchor (82 vs 86 GF), as the paper reports.
+pub const NONPERIODIC_KERNEL_PENALTY: f64 = 1.1;
+
+/// Throughput penalty of boundary kernels co-scheduled beside the interior
+/// kernel on concurrent-kernel parts (they steal SMs).
+pub const AUX_KERNEL_PENALTY: f64 = 1.5;
+
+/// The five GPU implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuImpl {
+    /// IV-E.
+    Resident,
+    /// IV-F.
+    BulkSync,
+    /// IV-G.
+    Streams,
+    /// IV-H.
+    HybridBulkSync,
+    /// IV-I.
+    HybridOverlap,
+}
+
+/// A GPU run configuration being modeled (one GPU per node).
+#[derive(Debug, Clone, Copy)]
+pub struct GpuScenario<'a> {
+    /// The machine (must have a GPU).
+    pub machine: &'a Machine,
+    /// Total cores (whole nodes; one GPU per node).
+    pub cores: usize,
+    /// OpenMP threads per MPI task.
+    pub threads: usize,
+    /// GPU thread-block shape.
+    pub block: (usize, usize),
+    /// CPU box thickness (hybrid implementations; 0 otherwise).
+    pub thickness: usize,
+    /// Scale factor on both PCIe rates (what-if experiments: the paper's
+    /// conclusion speculates about "an architecture with faster,
+    /// lower-latency CPU-GPU communication").
+    pub pcie_scale: f64,
+    /// Override for the pageable (blocking-copy) PCIe rate in GB/s; the
+    /// machine default when `None`. Setting this to the pinned rate
+    /// ablates the pageable/pinned distinction.
+    pub pageable_gbs: Option<f64>,
+}
+
+/// Per-task region point counts derived from the decomposition and the
+/// Figure 1 box partition (continuous approximation).
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    sub: (f64, f64, f64),
+    deep_pts: f64,
+    ring_pts: f64,
+    halo_ring_pts: f64,
+    wall_pts: f64,
+    inner_wall_pts: f64,
+    face_x_pts: f64,
+    face_yz_pts: f64,
+}
+
+fn clamped_product(a: f64, b: f64, c: f64) -> f64 {
+    a.max(0.0) * b.max(0.0) * c.max(0.0)
+}
+
+impl<'a> GpuScenario<'a> {
+    /// A new scenario.
+    pub fn new(machine: &'a Machine, cores: usize, threads: usize) -> Self {
+        assert!(machine.gpu.is_some(), "{} has no GPUs", machine.name);
+        Self {
+            machine,
+            cores,
+            threads,
+            block: (32, 8),
+            thickness: 0,
+            pcie_scale: 1.0,
+            pageable_gbs: None,
+        }
+    }
+
+    /// Set the block shape.
+    pub fn with_block(mut self, b: (usize, usize)) -> Self {
+        self.block = b;
+        self
+    }
+
+    /// Set the CPU box thickness.
+    pub fn with_thickness(mut self, t: usize) -> Self {
+        self.thickness = t;
+        self
+    }
+
+    /// Scale both PCIe rates (what-if architecture experiments).
+    pub fn with_pcie_scale(mut self, s: f64) -> Self {
+        self.pcie_scale = s;
+        self
+    }
+
+    /// Override the pageable-copy PCIe rate (GB/s).
+    pub fn with_pageable_gbs(mut self, gbs: f64) -> Self {
+        self.pageable_gbs = Some(gbs);
+        self
+    }
+
+    /// MPI tasks.
+    pub fn ntasks(&self) -> usize {
+        (self.cores / self.threads).max(1)
+    }
+
+    /// Tasks sharing one node (and its GPU).
+    pub fn tasks_per_node(&self) -> usize {
+        (self.machine.cores_per_node() / self.threads).max(1)
+    }
+
+    /// Nodes in use.
+    pub fn nodes(&self) -> usize {
+        self.machine.nodes_for_cores(self.cores)
+    }
+
+    fn spec(&self) -> &simgpu::GpuSpec {
+        self.machine.gpu.as_ref().expect("machine has a GPU")
+    }
+
+    fn geometry(&self, thickness: usize) -> Geometry {
+        let g = PAPER_GRID;
+        let (px, py, pz) = factor3(self.ntasks().min(g * g * g), (g, g, g));
+        let sub = (
+            g as f64 / px as f64,
+            g as f64 / py as f64,
+            g as f64 / pz as f64,
+        );
+        let t = thickness as f64;
+        let b = (sub.0 - 2.0 * t, sub.1 - 2.0 * t, sub.2 - 2.0 * t);
+        let gpu_pts = clamped_product(b.0, b.1, b.2);
+        let deep_pts = clamped_product(b.0 - 2.0, b.1 - 2.0, b.2 - 2.0);
+        let ring_pts = gpu_pts - deep_pts;
+        let halo_ring_pts = clamped_product(b.0 + 2.0, b.1 + 2.0, b.2 + 2.0) - gpu_pts;
+        let total = sub.0 * sub.1 * sub.2;
+        let wall_pts = total - gpu_pts;
+        // Walls not touching the subdomain skin can overlap MPI.
+        let inner_box = clamped_product(sub.0 - 2.0, sub.1 - 2.0, sub.2 - 2.0);
+        let inner_wall_pts = (inner_box - gpu_pts).max(0.0);
+        // Boundary-ring kernel orientation split.
+        let face_x_pts = 2.0 * b.1.max(0.0) * b.2.max(0.0);
+        let face_yz_pts = (ring_pts - face_x_pts).max(0.0);
+        Geometry {
+            sub,
+            deep_pts,
+            ring_pts,
+            halo_ring_pts,
+            wall_pts,
+            inner_wall_pts,
+            face_x_pts,
+            face_yz_pts,
+        }
+    }
+
+    /// Halo-layout kernel rate, points/s.
+    fn kernel_rate(&self) -> f64 {
+        timing::stencil_points_per_second(self.spec(), self.block) / NONPERIODIC_KERNEL_PENALTY
+    }
+
+    fn interior_kernel_dur(&self, geo: &Geometry) -> f64 {
+        self.spec().launch_overhead_s + geo.deep_pts / self.kernel_rate()
+    }
+
+    fn face_kernels_dur(&self, geo: &Geometry, aux: bool) -> f64 {
+        let rate = self.kernel_rate() / if aux { AUX_KERNEL_PENALTY } else { 1.0 };
+        6.0 * self.spec().launch_overhead_s
+            + geo.face_x_pts / (rate * params::FACE_EFF_X)
+            + geo.face_yz_pts / (rate * params::FACE_EFF_YZ)
+    }
+
+    fn pack_dur(&self, pts: f64) -> f64 {
+        timing::pack_kernel_time(self.spec(), pts as usize) + 5.0 * self.spec().launch_overhead_s
+    }
+
+    /// PCIe transfer duration for `pts` points, pageable or pinned.
+    fn pcie_dur(&self, pts: f64, pinned: bool) -> f64 {
+        let gbs = if pinned {
+            self.spec().pcie_bw_gbs
+        } else {
+            self.pageable_gbs
+                .unwrap_or_else(|| params::pageable_pcie_gbs(self.machine.name))
+        } * self.pcie_scale;
+        6.0 * self.spec().pcie_latency_s / self.pcie_scale + pts * 8.0 / (gbs * 1e9)
+    }
+
+    fn staging_dur(&self, pts: f64) -> f64 {
+        pts * 8.0 * params::HOST_STAGING_S_PER_BYTE
+    }
+
+    /// Network time of one exchange phase for the subdomain skin.
+    fn phase_net(&self, geo: &Geometry, dim: usize) -> f64 {
+        let (sx, sy, sz) = geo.sub;
+        let pts = match dim {
+            0 => sy * sz,
+            1 => (sx + 2.0) * sz,
+            _ => (sx + 2.0) * (sy + 2.0),
+        };
+        let bytes = pts * 8.0;
+        if self.ntasks() == 1 {
+            return 2.0 * bytes / (self.machine.cpu.mem_bw_gbs * 0.5e9);
+        }
+        if self.nodes() == 1 {
+            // All neighbors on-node: shared-memory MPI.
+            return 2.0 * bytes / (self.machine.cpu.mem_bw_gbs * 0.33e9);
+        }
+        let net = &self.machine.net;
+        let tpn = self.tasks_per_node() as f64;
+        let share = net.node_bw_gbs * 1e9 / tpn;
+        net.latency_s * (1.0 + params::INJECTION_CONTENTION * (tpn - 1.0))
+            + 2.0 * net.per_message_cpu_s
+            + 2.0 * bytes / share
+    }
+
+    fn mpi_total(&self, geo: &Geometry) -> f64 {
+        (0..3).map(|d| self.phase_net(geo, d)).sum()
+    }
+
+    /// CPU wall-computation rate (points/s) for this task's team.
+    fn cpu_wall_rate(&self) -> f64 {
+        self.machine
+            .cpu
+            .stencil_points_per_second(self.threads, self.tasks_per_node())
+            * params::CPU_WALL_EFF
+    }
+
+    /// Step time of IV-E (single GPU, whole problem resident).
+    pub fn step_resident(&self) -> f64 {
+        let g = PAPER_GRID;
+        let launch = simgpu::StencilLaunch {
+            dims: simgpu::FieldDims {
+                nx: g,
+                ny: g,
+                nz: g,
+                halo: 0,
+            },
+            region: advect_core::field::Range3::new((0, g as i64), (0, g as i64), (0, g as i64)),
+            block: self.block,
+            periodic: true,
+        };
+        timing::stencil_kernel_time(self.spec(), &launch)
+    }
+
+    /// Step time of IV-F (bulk-synchronous, everything chained).
+    pub fn step_bulk_sync(&self) -> f64 {
+        let geo = self.geometry(0);
+        let mut s = Schedule::new();
+        for _task in 0..self.tasks_per_node() {
+            self.context_switch(&mut s);
+            let pack = s.add(Res::GpuCompute, self.pack_dur(geo.ring_pts), &[]);
+            let d2h = s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, false), &[pack]);
+            let stage1 = s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
+            let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[stage1]);
+            let stage2 = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
+            let h2d = s.add(Res::CopyH2D, self.pcie_dur(geo.halo_ring_pts, false), &[stage2]);
+            let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
+            let faces = s.add(Res::GpuCompute, self.face_kernels_dur(&geo, false), &[unpack]);
+            s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[faces]);
+        }
+        s.makespan() + params::GPU_STEP_FIXED_S
+    }
+
+    /// Context-switch cost on the GPU engine when several MPI tasks share
+    /// the device (pre-MPS process serialization).
+    fn context_switch(&self, s: &mut Schedule) {
+        if self.tasks_per_node() > 1 {
+            s.add(Res::GpuCompute, params::GPU_CONTEXT_SWITCH_S, &[]);
+        }
+    }
+
+    /// Step time of IV-G (interior kernel beside the halo chain; the
+    /// outgoing boundary was downloaded at the end of the previous step).
+    pub fn step_streams(&self) -> f64 {
+        let geo = self.geometry(0);
+        let mut s = Schedule::new();
+        for _task in 0..self.tasks_per_node() {
+            self.context_switch(&mut s);
+            let interior = s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[]);
+            // MPI first: it uses last step's boundary buffers.
+            let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[]);
+            let stage = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
+            let h2d = s.add(Res::CopyH2D, self.pcie_dur(geo.halo_ring_pts, false), &[stage]);
+            let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
+            let faces = s.add(Res::GpuCompute, self.face_kernels_dur(&geo, false), &[unpack]);
+            // Outgoing boundary for the next step: pack + D2H at the end.
+            let pack = s.add(Res::GpuCompute, self.pack_dur(geo.ring_pts), &[faces, interior]);
+            let d2h = s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, false), &[pack]);
+            s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
+        }
+        s.makespan() + params::GPU_STEP_FIXED_S
+    }
+
+    /// Step time of IV-H (hybrid, bulk-synchronous communication).
+    pub fn step_hybrid_bulk_sync(&self) -> f64 {
+        let geo = self.geometry(self.thickness);
+        let mut s = Schedule::new();
+        for _task in 0..self.tasks_per_node() {
+            self.context_switch(&mut s);
+            let pack = s.add(Res::GpuCompute, self.pack_dur(geo.ring_pts), &[]);
+            let d2h = s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, false), &[pack]);
+            let stage1 = s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
+            let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[stage1]);
+            let stage2 = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
+            let h2d = s.add(Res::CopyH2D, self.pcie_dur(geo.halo_ring_pts, false), &[stage2]);
+            let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
+            // GPU kernels and CPU walls proceed in parallel after the
+            // exchange.
+            let faces = s.add(Res::GpuCompute, self.face_kernels_dur(&geo, false), &[unpack]);
+            s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[faces]);
+            if geo.wall_pts > 0.0 {
+                s.add(Res::None, geo.wall_pts / self.cpu_wall_rate(), &[mpi]);
+            }
+        }
+        s.makespan() + params::GPU_STEP_FIXED_S
+    }
+
+    /// Step time of IV-I (full overlap). Requires thickness ≥ 1.
+    pub fn step_hybrid_overlap(&self) -> f64 {
+        assert!(self.thickness >= 1, "IV-I needs a CPU veneer");
+        let geo = self.geometry(self.thickness);
+        let concurrent = self.spec().concurrent_kernels;
+        let mut s = Schedule::new();
+        for _task in 0..self.tasks_per_node() {
+            // GPU side: interior on the compute engine; halo ring H2D
+            // (async, page-locked), boundary kernels, ring D2H beside it.
+            self.context_switch(&mut s);
+            let interior = s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[]);
+            let h2d = s.add(Res::CopyH2D, self.pcie_dur(geo.halo_ring_pts, true), &[]);
+            let faces = if concurrent {
+                // Fermi co-schedules the small boundary kernels beside the
+                // interior kernel (at a throughput penalty).
+                s.add(Res::None, self.face_kernels_dur(&geo, true), &[h2d])
+            } else {
+                s.add(Res::GpuCompute, self.face_kernels_dur(&geo, false), &[h2d, interior])
+            };
+            s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, true), &[faces]);
+            // CPU side: each dimension's phase overlaps that dimension's
+            // inner wall points. A phase's sends need the previous phase's
+            // halo; the task's thread team computes one wall chunk at a
+            // time, so the chunks chain. Outer wall points follow the last
+            // phase and the last chunk.
+            let mut prev_phase: Option<crate::event::OpId> = None;
+            let mut prev_wall: Option<crate::event::OpId> = None;
+            for d in 0..3 {
+                let phase_deps: Vec<_> = prev_phase.into_iter().collect();
+                let phase = s.add(Res::Nic, self.phase_net(&geo, d), &phase_deps);
+                let wall_deps: Vec<_> = prev_wall.into_iter().chain(prev_phase).collect();
+                let wall = s.add(
+                    Res::None,
+                    geo.inner_wall_pts / 3.0 / self.cpu_wall_rate(),
+                    &wall_deps,
+                );
+                prev_phase = Some(phase);
+                prev_wall = Some(wall);
+            }
+            let outer = (geo.wall_pts - geo.inner_wall_pts).max(0.0);
+            if outer > 0.0 {
+                let deps: Vec<_> = prev_phase.into_iter().chain(prev_wall).collect();
+                s.add(Res::None, outer / self.cpu_wall_rate(), &deps);
+            }
+        }
+        s.makespan() + params::GPU_STEP_FIXED_S
+    }
+
+    /// Step time of the given implementation.
+    pub fn step_time(&self, im: GpuImpl) -> f64 {
+        match im {
+            GpuImpl::Resident => self.step_resident(),
+            GpuImpl::BulkSync => self.step_bulk_sync(),
+            GpuImpl::Streams => self.step_streams(),
+            GpuImpl::HybridBulkSync => self.step_hybrid_bulk_sync(),
+            GpuImpl::HybridOverlap => self.step_hybrid_overlap(),
+        }
+    }
+
+    /// Whole-machine GF (strong scaling at 420³).
+    pub fn gf(&self, im: GpuImpl) -> f64 {
+        (PAPER_GRID as f64).powi(3) * FLOPS_PER_POINT as f64 / self.step_time(im) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::yona;
+
+    fn yona_scenario(threads: usize, thickness: usize) -> f64 {
+        let m = yona();
+        GpuScenario::new(&m, 12, threads)
+            .with_block((32, 8))
+            .with_thickness(thickness)
+            .gf(match thickness {
+                0 => GpuImpl::BulkSync,
+                _ => GpuImpl::HybridOverlap,
+            })
+    }
+
+    #[test]
+    fn yona_resident_anchor_86() {
+        let m = yona();
+        let gf = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::Resident);
+        assert!((gf - 86.0).abs() < 6.0, "resident {gf} GF");
+    }
+
+    #[test]
+    fn yona_bulk_sync_anchor_24() {
+        // Section V-E: one node, implementation IV-F: 24 GF.
+        let m = yona();
+        let gf = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::BulkSync);
+        assert!((gf - 24.0).abs() < 5.0, "IV-F one node {gf} GF (paper: 24)");
+    }
+
+    #[test]
+    fn yona_streams_anchor_35() {
+        // Section V-E: one node, implementation IV-G: 35 GF.
+        let m = yona();
+        let gf = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::Streams);
+        assert!((gf - 35.0).abs() < 7.0, "IV-G one node {gf} GF (paper: 35)");
+    }
+
+    #[test]
+    fn yona_hybrid_overlap_anchor_82() {
+        // Section V-E: one node, thickness 3, 2 tasks per node: 82 GF.
+        let gf = yona_scenario(6, 3);
+        assert!((gf - 82.0).abs() < 8.0, "IV-I one node {gf} GF (paper: 82)");
+    }
+
+    #[test]
+    fn hybrid_overlap_under_resident() {
+        // IV-I "nearly matches" but does not exceed the resident kernel.
+        let m = yona();
+        let resident = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::Resident);
+        let best_i = (1..=4)
+            .map(|t| yona_scenario(6, t))
+            .fold(0.0f64, f64::max);
+        assert!(best_i < resident, "IV-I {best_i} vs resident {resident}");
+        assert!(best_i > 0.85 * resident, "IV-I {best_i} not near resident {resident}");
+    }
+
+    #[test]
+    fn overlap_ordering_f_g_i() {
+        // 24 < 35 < 82: each overlap level pays off.
+        let m = yona();
+        let f = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::BulkSync);
+        let g = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::Streams);
+        let i = yona_scenario(6, 3);
+        assert!(f < g && g < i, "ordering broken: F {f}, G {g}, I {i}");
+    }
+}

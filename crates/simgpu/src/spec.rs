@@ -1,0 +1,133 @@
+//! GPU hardware descriptions.
+//!
+//! The two GPUs of the paper (Table II) are provided as presets:
+//! the Tesla **C1060** (Lens) and the Tesla **C2050** (Yona). The spec
+//! drives both functional limits (maximum threads per block, warp size)
+//! and the virtual-time cost model in [`crate::timing`].
+
+/// Static description of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. "Tesla C2050".
+    pub name: &'static str,
+    /// SIMT warp size (32 for both tested GPUs).
+    pub warp: usize,
+    /// Maximum threads per block (512 on C1060, 1024 on C2050).
+    pub max_threads_per_block: usize,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm_bytes: usize,
+    /// 32-bit registers per SM.
+    pub regfile_per_sm: usize,
+    /// Resident warps per SM needed to hide memory latency.
+    pub warps_needed: usize,
+    /// Relative cost of per-plane block synchronization, per warp of block
+    /// size (drives the preference for shorter blocks).
+    pub sync_cost_per_warp: f64,
+    /// Peak double-precision rate in Gflop/s.
+    pub dp_gflops: f64,
+    /// Global-memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Global memory capacity in GiB.
+    pub mem_gib: f64,
+    /// Effective PCIe bandwidth in GB/s (each direction).
+    pub pcie_bw_gbs: f64,
+    /// PCIe transfer latency per operation, in seconds.
+    pub pcie_latency_s: f64,
+    /// Kernel launch overhead, in seconds.
+    pub launch_overhead_s: f64,
+    /// Number of independent DMA copy engines (1 on C1060, 2 on C2050).
+    pub copy_engines: usize,
+    /// Whether kernels can run concurrently with copies from another
+    /// stream (true for both; pre-Fermi parts cannot overlap *boundary
+    /// compute* with interior compute, modeled via `concurrent_kernels`).
+    pub concurrent_kernels: bool,
+    /// Calibrated fraction of the roofline the stencil kernel achieves at
+    /// the ideal block size (see DESIGN.md calibration anchors).
+    pub stencil_base_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla C1060 (Lens): compute capability 1.3, first-generation
+    /// double precision, PCIe gen-1 class host link on Lens.
+    pub fn tesla_c1060() -> Self {
+        Self {
+            name: "Tesla C1060",
+            warp: 32,
+            max_threads_per_block: 512,
+            sm_count: 30,
+            max_threads_per_sm: 1024,
+            smem_per_sm_bytes: 16384,
+            regfile_per_sm: 16384,
+            warps_needed: 20,
+            sync_cost_per_warp: 0.005,
+            dp_gflops: 78.0,
+            mem_bw_gbs: 102.0,
+            mem_gib: 4.0,
+            pcie_bw_gbs: 1.5,
+            pcie_latency_s: 20e-6,
+            launch_overhead_s: 10e-6,
+            copy_engines: 1,
+            concurrent_kernels: false,
+            stencil_base_efficiency: 0.106,
+        }
+    }
+
+    /// NVIDIA Tesla C2050 (Yona): Fermi, compute capability 2.0, "a faster
+    /// PCIe bus connecting the GPUs to the CPUs and main memory".
+    pub fn tesla_c2050() -> Self {
+        Self {
+            name: "Tesla C2050",
+            warp: 32,
+            max_threads_per_block: 1024,
+            sm_count: 14,
+            max_threads_per_sm: 1536,
+            smem_per_sm_bytes: 49152,
+            regfile_per_sm: 32768,
+            warps_needed: 48,
+            sync_cost_per_warp: 0.025,
+            dp_gflops: 515.0,
+            mem_bw_gbs: 144.0,
+            mem_gib: 3.0,
+            pcie_bw_gbs: 4.0,
+            pcie_latency_s: 10e-6,
+            launch_overhead_s: 5e-6,
+            copy_engines: 2,
+            concurrent_kernels: true,
+            stencil_base_efficiency: 0.235,
+        }
+    }
+
+    /// Global memory capacity in number of f64 values.
+    pub fn capacity_f64(&self) -> usize {
+        (self.mem_gib * (1u64 << 30) as f64 / 8.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_ii() {
+        let c1060 = GpuSpec::tesla_c1060();
+        assert_eq!(c1060.mem_gib, 4.0);
+        assert_eq!(c1060.max_threads_per_block, 512);
+        let c2050 = GpuSpec::tesla_c2050();
+        assert_eq!(c2050.mem_gib, 3.0);
+        assert_eq!(c2050.max_threads_per_block, 1024);
+        assert!(c2050.pcie_bw_gbs > c1060.pcie_bw_gbs, "Yona has the faster bus");
+    }
+
+    #[test]
+    fn paper_grid_fits_in_one_gpu() {
+        // 420³ with two state copies plus halos must fit in 3 GiB:
+        // the paper chose 420 "to just fit within the memory of a single GPU".
+        let c2050 = GpuSpec::tesla_c2050();
+        let two_states = 2 * 422usize.pow(3);
+        assert!(two_states < c2050.capacity_f64());
+    }
+}

@@ -1,0 +1,194 @@
+//! Device timeline recording and rendering.
+//!
+//! Every operation the device schedules is recorded with its stream,
+//! engine, and virtual start/end times. [`Timeline::concurrency`] measures
+//! how much the schedule overlapped (total busy time / makespan — 1.0
+//! means fully serialized), and [`Timeline::render_gantt`] draws an ASCII
+//! Gantt chart per engine, which makes the difference between the
+//! bulk-synchronous and overlapped implementations *visible*:
+//!
+//! ```text
+//! compute |####------####|
+//! h2d     |----##--------|
+//! d2h     |------##------|
+//! ```
+
+/// Which engine executed an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Kernel engine.
+    Compute,
+    /// Host-to-device DMA.
+    H2D,
+    /// Device-to-host DMA.
+    D2H,
+}
+
+impl EngineKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Compute => "compute",
+            EngineKind::H2D => "h2d",
+            EngineKind::D2H => "d2h",
+        }
+    }
+}
+
+/// One recorded operation.
+#[derive(Debug, Clone)]
+pub struct TimelineEntry {
+    /// Operation label ("stencil", "pack", "h2d", …).
+    pub label: &'static str,
+    /// Stream the operation was issued on.
+    pub stream: usize,
+    /// Engine that executed it.
+    pub engine: EngineKind,
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Virtual end time (seconds).
+    pub end: f64,
+}
+
+/// A recorded device timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Entries in issue order.
+    pub entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Completion time of the last operation.
+    pub fn makespan(&self) -> f64 {
+        self.entries.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Earliest start.
+    pub fn start(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.start)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total busy time per engine.
+    pub fn busy(&self, engine: EngineKind) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.engine == engine)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Concurrency factor: Σ engine busy time / wall (makespan − start).
+    /// 1.0 ⇒ fully serialized; approaching the engine count ⇒ full
+    /// overlap. Returns 0 for an empty timeline.
+    pub fn concurrency(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let wall = self.makespan() - self.start();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = [EngineKind::Compute, EngineKind::H2D, EngineKind::D2H]
+            .iter()
+            .map(|&e| self.busy(e))
+            .sum();
+        busy / wall
+    }
+
+    /// ASCII Gantt chart, one row per engine, `width` columns spanning
+    /// [start, makespan].
+    pub fn render_gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let t0 = self.start();
+        let t1 = self.makespan();
+        if self.entries.is_empty() || t1 <= t0 {
+            return String::from("(empty timeline)\n");
+        }
+        let scale = width as f64 / (t1 - t0);
+        let mut out = String::new();
+        for engine in [EngineKind::Compute, EngineKind::H2D, EngineKind::D2H] {
+            let mut row = vec![b'-'; width];
+            for e in self.entries.iter().filter(|e| e.engine == engine) {
+                let a = (((e.start - t0) * scale) as usize).min(width - 1);
+                let b = (((e.end - t0) * scale).ceil() as usize).clamp(a + 1, width);
+                for c in row.iter_mut().take(b).skip(a) {
+                    *c = b'#';
+                }
+            }
+            out.push_str(&format!(
+                "{:>8} |{}| {:.3} ms busy\n",
+                engine.name(),
+                String::from_utf8(row).expect("ascii"),
+                self.busy(engine) * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "makespan {:.3} ms, concurrency {:.2}\n",
+            (t1 - t0) * 1e3,
+            self.concurrency()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(engine: EngineKind, start: f64, end: f64) -> TimelineEntry {
+        TimelineEntry {
+            label: "op",
+            stream: 0,
+            engine,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn concurrency_of_serial_schedule_is_one() {
+        let t = Timeline {
+            entries: vec![
+                entry(EngineKind::Compute, 0.0, 1.0),
+                entry(EngineKind::D2H, 1.0, 2.0),
+            ],
+        };
+        assert!((t.concurrency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_of_overlapped_schedule_exceeds_one() {
+        let t = Timeline {
+            entries: vec![
+                entry(EngineKind::Compute, 0.0, 2.0),
+                entry(EngineKind::D2H, 0.0, 2.0),
+            ],
+        };
+        assert!((t.concurrency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_rows_for_each_engine() {
+        let t = Timeline {
+            entries: vec![
+                entry(EngineKind::Compute, 0.0, 1.0),
+                entry(EngineKind::H2D, 0.5, 1.5),
+            ],
+        };
+        let g = t.render_gantt(40);
+        assert!(g.contains("compute"));
+        assert!(g.contains("h2d"));
+        assert!(g.contains("concurrency"));
+        assert!(g.lines().next().unwrap().contains('#'));
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let t = Timeline::default();
+        assert_eq!(t.concurrency(), 0.0);
+        assert!(t.render_gantt(40).contains("empty"));
+    }
+}

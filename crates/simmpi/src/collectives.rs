@@ -1,0 +1,121 @@
+//! Shared state backing the collectives (barrier, allreduce, gather).
+//!
+//! The barrier is sense-reversing so it is reusable; the reduction slots
+//! are generation-counted so back-to-back allreduces cannot mix rounds.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A reusable sense-reversing barrier for `n` participants.
+pub(crate) struct Barrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn wait(&self) {
+        let mut s = self.state.lock();
+        let gen = s.generation;
+        s.waiting += 1;
+        if s.waiting == self.n {
+            s.waiting = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+        }
+    }
+}
+
+/// All-to-all contribution slots for reductions and gathers.
+pub(crate) struct ReduceSlots {
+    n: usize,
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+struct SlotState {
+    /// One contribution slot per rank for the current round.
+    slots: Vec<Option<Vec<f64>>>,
+    /// Completed round's data, kept until all ranks have read it.
+    result: Option<Vec<Vec<f64>>>,
+    readers_left: usize,
+    round: u64,
+}
+
+impl ReduceSlots {
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: Mutex::new(SlotState {
+                slots: vec![None; n],
+                result: None,
+                readers_left: 0,
+                round: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Contribute `data` for `rank` and return a clone of every rank's
+    /// contribution once all have arrived. Safe to call repeatedly; rounds
+    /// cannot interleave because a new round cannot start until every rank
+    /// has read the previous result.
+    pub fn exchange(&self, rank: usize, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let mut s = self.state.lock();
+        // Wait for the previous round to be fully drained.
+        while s.result.is_some() && s.slots[rank].is_some() {
+            self.cv.wait(&mut s);
+        }
+        // If a completed round is still being read and our slot is free,
+        // we may be racing ahead into the next round: wait until the
+        // result is consumed.
+        while s.result.is_some() {
+            self.cv.wait(&mut s);
+        }
+        assert!(s.slots[rank].is_none(), "rank {rank} double-contributed");
+        s.slots[rank] = Some(data);
+        let filled = s.slots.iter().filter(|v| v.is_some()).count();
+        if filled == self.n {
+            let gathered: Vec<Vec<f64>> = s.slots.iter_mut().map(|v| v.take().expect("filled")).collect();
+            s.result = Some(gathered);
+            s.readers_left = self.n;
+            s.round += 1;
+            self.cv.notify_all();
+        } else {
+            let round = s.round;
+            while s.round == round {
+                self.cv.wait(&mut s);
+            }
+        }
+        let out = s
+            .result
+            .as_ref()
+            .expect("result present for this round")
+            .clone();
+        s.readers_left -= 1;
+        if s.readers_left == 0 {
+            s.result = None;
+            self.cv.notify_all();
+        }
+        out
+    }
+}

@@ -1,0 +1,206 @@
+//! The per-rank communicator handle.
+
+use crate::collectives::{Barrier, ReduceSlots};
+use crate::mailbox::{Mailbox, Message};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Message tag (like MPI's integer tags).
+pub type Tag = u64;
+
+/// Shared world state across all ranks.
+pub(crate) struct WorldInner {
+    pub size: usize,
+    pub mailboxes: Vec<Mailbox>,
+    pub barrier: Barrier,
+    pub reduce: ReduceSlots,
+}
+
+/// Per-rank traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages posted by this rank.
+    pub messages_sent: u64,
+    /// Total f64 values in those messages.
+    pub values_sent: u64,
+    /// Point-to-point messages received by this rank.
+    pub messages_received: u64,
+    /// Total f64 values received.
+    pub values_received: u64,
+    /// Barrier invocations.
+    pub barriers: u64,
+}
+
+/// A rank's handle to the world: MPI's communicator analogue.
+pub struct Comm {
+    rank: usize,
+    inner: Arc<WorldInner>,
+    stats: Mutex<CommStats>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, inner: Arc<WorldInner>) -> Self {
+        Self {
+            rank,
+            inner,
+            stats: Mutex::new(CommStats::default()),
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        *self.stats.lock()
+    }
+
+    fn check_rank(&self, rank: usize, what: &str) {
+        assert!(
+            rank < self.inner.size,
+            "{what} rank {rank} out of range for world of size {}",
+            self.inner.size
+        );
+    }
+
+    /// Blocking buffered send: the payload is moved into the destination
+    /// mailbox and the call returns (like `MPI_Bsend`).
+    pub fn send(&self, dest: usize, tag: Tag, data: Vec<f64>) {
+        self.check_rank(dest, "destination");
+        {
+            let mut s = self.stats.lock();
+            s.messages_sent += 1;
+            s.values_sent += data.len() as u64;
+        }
+        self.inner.mailboxes[dest].deliver(Message {
+            src: self.rank,
+            tag,
+            data,
+        });
+    }
+
+    /// Nonblocking send (like `MPI_Isend` with a buffered protocol): the
+    /// message is posted immediately; the returned request is already
+    /// complete but preserves the MPI call structure of the ported code.
+    pub fn isend(&self, dest: usize, tag: Tag, data: Vec<f64>) -> SendRequest {
+        self.send(dest, tag, data);
+        SendRequest { _complete: true }
+    }
+
+    /// Blocking receive matching `(src, tag)`.
+    pub fn recv(&self, src: usize, tag: Tag) -> Vec<f64> {
+        self.check_rank(src, "source");
+        let data = self.inner.mailboxes[self.rank].take_matching(src, tag);
+        let mut s = self.stats.lock();
+        s.messages_received += 1;
+        s.values_received += data.len() as u64;
+        data
+    }
+
+    /// Nonblocking receive (like `MPI_Irecv`): returns a request that can
+    /// be tested or waited on.
+    pub fn irecv(&self, src: usize, tag: Tag) -> RecvRequest<'_> {
+        self.check_rank(src, "source");
+        RecvRequest {
+            comm: self,
+            src,
+            tag,
+        }
+    }
+
+    /// Wait for all receive requests, returning their payloads in order
+    /// (like `MPI_Waitall`).
+    pub fn waitall(&self, reqs: Vec<RecvRequest<'_>>) -> Vec<Vec<f64>> {
+        reqs.into_iter().map(|r| r.wait()).collect()
+    }
+
+    /// Number of messages waiting in this rank's mailbox (diagnostic).
+    pub fn pending_messages(&self) -> usize {
+        self.inner.mailboxes[self.rank].len()
+    }
+
+    /// Block until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.stats.lock().barriers += 1;
+        self.inner.barrier.wait();
+    }
+
+    /// Global sum of one value per rank.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.inner
+            .reduce
+            .exchange(self.rank, vec![value])
+            .iter()
+            .map(|v| v[0])
+            .sum()
+    }
+
+    /// Global maximum of one value per rank.
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        self.inner
+            .reduce
+            .exchange(self.rank, vec![value])
+            .iter()
+            .map(|v| v[0])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Gather each rank's vector to rank 0. Returns `Some(all)` on rank 0
+    /// (indexed by rank) and `None` elsewhere.
+    pub fn gather_to_root(&self, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let all = self.inner.reduce.exchange(self.rank, data);
+        (self.rank == 0).then_some(all)
+    }
+}
+
+/// Handle for a posted nonblocking send.
+#[derive(Debug)]
+pub struct SendRequest {
+    _complete: bool,
+}
+
+impl SendRequest {
+    /// Complete the send (a no-op under the buffered protocol).
+    pub fn wait(self) {}
+}
+
+/// Handle for a posted nonblocking receive.
+pub struct RecvRequest<'a> {
+    comm: &'a Comm,
+    src: usize,
+    tag: Tag,
+}
+
+impl RecvRequest<'_> {
+    /// Block until the matching message arrives; returns its payload.
+    pub fn wait(self) -> Vec<f64> {
+        let data = self.comm.inner.mailboxes[self.comm.rank].take_matching(self.src, self.tag);
+        let mut s = self.comm.stats.lock();
+        s.messages_received += 1;
+        s.values_received += data.len() as u64;
+        data
+    }
+
+    /// Non-blocking test: whether the matching message has arrived
+    /// (like `MPI_Test` without completing the request).
+    pub fn is_ready(&self) -> bool {
+        self.comm.inner.mailboxes[self.comm.rank].has_matching(self.src, self.tag)
+    }
+
+    /// The source rank this request matches.
+    pub fn source(&self) -> usize {
+        self.src
+    }
+
+    /// The tag this request matches.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+}

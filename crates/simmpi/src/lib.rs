@@ -1,0 +1,221 @@
+//! # simmpi
+//!
+//! An in-process message-passing substrate with MPI-like semantics, built
+//! so the overlap implementations of White & Dongarra (IPDPS 2011) can run
+//! unmodified without a real MPI installation:
+//!
+//! * **ranks are OS threads** launched by [`World::run`];
+//! * point-to-point messages are matched by `(source, tag)` in arrival
+//!   order (MPI's non-overtaking rule per channel);
+//! * [`Comm::isend`] / [`Comm::irecv`] return [`SendRequest`] /
+//!   [`RecvRequest`] handles completed by `wait`, mirroring
+//!   `MPI_Isend`/`MPI_Irecv`/`MPI_Wait`;
+//! * collectives: [`Comm::barrier`], [`Comm::allreduce_sum`],
+//!   [`Comm::allreduce_max`], [`Comm::gather_to_root`];
+//! * a rank may send to itself (the paper notes "a task may be its own
+//!   neighbor in decompositions with small or prime numbers of tasks").
+//!
+//! Sends are buffered (they complete locally, like `MPI_Ibsend`): payloads
+//! are moved into the destination mailbox at post time. That matches how
+//! the paper's implementations use MPI — all sends are paired with
+//! pre-posted receives and waits, so stricter rendezvous semantics would
+//! change nothing observable. The *cost* of rendezvous progress is a
+//! performance-layer concern, modeled in the `perfmodel` crate.
+//!
+//! Per-rank traffic statistics ([`CommStats`]) are recorded so tests and
+//! examples can assert on message counts and volumes.
+
+mod collectives;
+mod comm;
+mod mailbox;
+mod world;
+
+pub use comm::{Comm, CommStats, RecvRequest, SendRequest, Tag};
+pub use world::World;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_all_ranks() {
+        let results = World::run(6, |comm| comm.rank() * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn ring_exchange() {
+        let n = 5;
+        let results = World::run(n, move |comm| {
+            let right = (comm.rank() + 1) % n;
+            let left = (comm.rank() + n - 1) % n;
+            let req = comm.irecv(left, 7);
+            comm.send(right, 7, vec![comm.rank() as f64]);
+            let data = req.wait();
+            data[0] as usize
+        });
+        for (rank, &got) in results.iter().enumerate() {
+            assert_eq!(got, (rank + n - 1) % n);
+        }
+    }
+
+    #[test]
+    fn self_send_works() {
+        let results = World::run(3, |comm| {
+            let req = comm.irecv(comm.rank(), 1);
+            comm.send(comm.rank(), 1, vec![42.0]);
+            req.wait()[0]
+        });
+        assert_eq!(results, vec![42.0; 3]);
+    }
+
+    #[test]
+    fn messages_matched_by_tag() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, vec![1.0]);
+                comm.send(1, 20, vec![2.0]);
+                0.0
+            } else {
+                // Receive in reverse tag order: matching must be by tag,
+                // not arrival order.
+                let b = comm.recv(0, 20);
+                let a = comm.recv(0, 10);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn same_tag_messages_do_not_overtake() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100 {
+                    comm.send(1, 3, vec![i as f64]);
+                }
+                vec![]
+            } else {
+                (0..100).map(|_| comm.recv(0, 3)[0]).collect()
+            }
+        });
+        let got = &results[1];
+        let expect: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(*got, expect);
+    }
+
+    #[test]
+    fn irecv_posted_before_send_arrives() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier(); // make rank 1 post first
+                comm.send(1, 5, vec![9.0]);
+                9.0
+            } else {
+                let req = comm.irecv(0, 5);
+                comm.barrier();
+                req.wait()[0]
+            }
+        });
+        assert_eq!(results[1], 9.0);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let phase = Arc::new(AtomicUsize::new(0));
+        let p = phase.clone();
+        World::run(8, move |comm| {
+            p.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(p.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let results = World::run(7, |comm| {
+            let r = comm.rank() as f64;
+            (comm.allreduce_sum(r), comm.allreduce_max(r))
+        });
+        for &(sum, max) in &results {
+            assert_eq!(sum, 21.0);
+            assert_eq!(max, 6.0);
+        }
+    }
+
+    #[test]
+    fn repeated_allreduce_no_generation_mixup() {
+        let results = World::run(4, |comm| {
+            let mut acc = 0.0;
+            for round in 0..50 {
+                acc += comm.allreduce_sum((comm.rank() + round) as f64);
+            }
+            acc
+        });
+        // Σ_round (Σ_rank rank + 4*round) = 50*6 + 4*Σ round = 300 + 4*1225
+        for &v in &results {
+            assert_eq!(v, 300.0 + 4.0 * 1225.0);
+        }
+    }
+
+    #[test]
+    fn gather_to_root() {
+        let results = World::run(4, |comm| comm.gather_to_root(vec![comm.rank() as f64; 2]));
+        let root = results[0].as_ref().expect("root gets data");
+        assert_eq!(root.len(), 4);
+        for (r, part) in root.iter().enumerate() {
+            assert_eq!(*part, vec![r as f64; 2]);
+        }
+        assert!(results[1].is_none());
+    }
+
+    #[test]
+    fn stats_count_messages_and_volume() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0.0; 10]);
+                comm.send(1, 1, vec![0.0; 5]);
+            } else {
+                comm.recv(0, 0);
+                comm.recv(0, 1);
+            }
+            comm.stats()
+        });
+        assert_eq!(results[0].messages_sent, 2);
+        assert_eq!(results[0].values_sent, 15);
+        assert_eq!(results[1].messages_received, 2);
+        assert_eq!(results[1].values_received, 15);
+    }
+
+    #[test]
+    fn waitall_completes_many_requests() {
+        let n = 4;
+        let results = World::run(n, move |comm| {
+            let tags: Vec<_> = (0..n).filter(|&r| r != comm.rank()).collect();
+            let reqs: Vec<_> = tags.iter().map(|&src| comm.irecv(src, 99)).collect();
+            for dst in 0..n {
+                if dst != comm.rank() {
+                    comm.isend(dst, 99, vec![comm.rank() as f64]).wait();
+                }
+            }
+            let got: f64 = reqs.into_iter().map(|r| r.wait()[0]).sum();
+            got
+        });
+        for (rank, &sum) in results.iter().enumerate() {
+            let expect: f64 = (0..n).filter(|&r| r != rank).map(|r| r as f64).sum();
+            assert_eq!(sum, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "destination rank")]
+    fn send_to_invalid_rank_panics() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(5, 0, vec![1.0]);
+            }
+        });
+    }
+}

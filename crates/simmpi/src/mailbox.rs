@@ -1,0 +1,54 @@
+//! Per-rank mailboxes with MPI-style `(source, tag)` matching.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// A message in flight.
+#[derive(Debug)]
+pub(crate) struct Message {
+    pub src: usize,
+    pub tag: u64,
+    pub data: Vec<f64>,
+}
+
+/// A rank's incoming-message queue.
+///
+/// Messages from the same `(source, tag)` are delivered in send order
+/// (non-overtaking); messages on different channels may be consumed in any
+/// order, exactly as MPI's matching rules allow.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    /// Deposit a message and wake any waiting receiver.
+    pub fn deliver(&self, msg: Message) {
+        let mut q = self.queue.lock();
+        q.push_back(msg);
+        self.arrived.notify_all();
+    }
+
+    /// Block until a message matching `(src, tag)` is available and remove
+    /// it. The *first* match in arrival order is taken.
+    pub fn take_matching(&self, src: usize, tag: u64) -> Vec<f64> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                return q.remove(pos).expect("position is valid").data;
+            }
+            self.arrived.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: whether a matching message has arrived.
+    pub fn has_matching(&self, src: usize, tag: u64) -> bool {
+        self.queue.lock().iter().any(|m| m.src == src && m.tag == tag)
+    }
+
+    /// Number of messages currently queued (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+}

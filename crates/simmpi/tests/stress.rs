@@ -1,0 +1,108 @@
+//! Concurrency stress tests for the message-passing substrate: many
+//! ranks, many tags, interleaved orderings, repeated collectives.
+
+use simmpi::World;
+
+#[test]
+fn all_to_all_many_tags_interleaved() {
+    // Every rank sends one message per (peer, tag) pair; receivers drain
+    // them in a scrambled order. Matching must never cross wires.
+    let n = 6usize;
+    let tags = 5u64;
+    let results = World::run(n, move |comm| {
+        let me = comm.rank();
+        for dst in 0..n {
+            for t in 0..tags {
+                comm.send(dst, t, vec![(me * 100) as f64 + t as f64]);
+            }
+        }
+        // Drain in reverse tag order, shuffled source order.
+        let mut got = Vec::new();
+        for t in (0..tags).rev() {
+            for off in 0..n {
+                let src = (me + off * 5 + 1) % n; // stride 5 is coprime with n = 6: a permutation
+                let v = comm.recv(src, t)[0];
+                assert_eq!(v, (src * 100) as f64 + t as f64);
+                got.push(v);
+            }
+        }
+        got.len()
+    });
+    assert!(results.iter().all(|&c| c == n * tags as usize));
+}
+
+#[test]
+fn pipelined_steps_do_not_cross_iterations() {
+    // Ranks run at different speeds; per-(src,tag) FIFO ordering must keep
+    // iteration k's message arriving at iteration k.
+    let n = 4usize;
+    let iters = 50u64;
+    let results = World::run(n, move |comm| {
+        let right = (comm.rank() + 1) % n;
+        let left = (comm.rank() + n - 1) % n;
+        let mut sum = 0.0;
+        for k in 0..iters {
+            if comm.rank() == 0 {
+                std::thread::yield_now();
+            }
+            let req = comm.irecv(left, 9);
+            comm.send(right, 9, vec![k as f64]);
+            let v = req.wait()[0];
+            assert_eq!(v, k as f64, "iteration crossing at k={k}");
+            sum += v;
+        }
+        sum
+    });
+    let expect: f64 = (0..iters).map(|k| k as f64).sum();
+    assert!(results.iter().all(|&s| s == expect));
+}
+
+#[test]
+fn heavy_allreduce_sequence_is_deterministic() {
+    let n = 8usize;
+    let results = World::run(n, move |comm| {
+        let mut acc = 0.0f64;
+        for round in 0..200u64 {
+            acc = comm.allreduce_sum(acc + comm.rank() as f64 + round as f64);
+        }
+        acc
+    });
+    for w in results.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+}
+
+#[test]
+fn barrier_storm() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c = counter.clone();
+    let n = 8usize;
+    World::run(n, move |comm| {
+        for round in 0..100usize {
+            c.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            let seen = c.load(Ordering::SeqCst);
+            assert!(seen >= (round + 1) * n, "round {round}: {seen}");
+            comm.barrier();
+        }
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 8 * 100);
+}
+
+#[test]
+fn large_payloads_round_trip_intact() {
+    let results = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            let payload: Vec<f64> = (0..1_000_000).map(|i| i as f64 * 0.5).collect();
+            comm.send(1, 0, payload);
+            0.0
+        } else {
+            let got = comm.recv(0, 0);
+            assert_eq!(got.len(), 1_000_000);
+            got[999_999]
+        }
+    });
+    assert_eq!(results[1], 999_999.0 * 0.5);
+}

@@ -1,0 +1,72 @@
+//! Search-space definitions.
+
+use machine::Machine;
+
+/// The joint tuning space for a machine.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Candidate threads per MPI task.
+    pub threads: Vec<usize>,
+    /// Candidate CPU box thicknesses (0 means "no CPU box", only valid
+    /// for non-overlap hybrids).
+    pub thicknesses: Vec<usize>,
+    /// Candidate GPU block shapes.
+    pub blocks: Vec<(usize, usize)>,
+}
+
+impl SearchSpace {
+    /// The space the paper explores for a machine: its measured
+    /// threads-per-task choices, thicknesses up to a deep box, and the
+    /// warp-aligned/half-warp block shapes of Figures 7/8.
+    pub fn for_machine(m: &Machine) -> Self {
+        let max_threads = m
+            .gpu
+            .as_ref()
+            .map(|g| g.max_threads_per_block)
+            .unwrap_or(512);
+        let mut blocks = Vec::new();
+        for bx in [16usize, 32, 64, 128] {
+            for by in [1usize, 2, 4, 6, 8, 11, 12, 16, 24, 32] {
+                if bx * by <= max_threads {
+                    blocks.push((bx, by));
+                }
+            }
+        }
+        Self {
+            threads: m.thread_choices.to_vec(),
+            thicknesses: vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32],
+            blocks,
+        }
+    }
+
+    /// Total number of configurations.
+    pub fn len(&self) -> usize {
+        self.threads.len() * self.thicknesses.len() * self.blocks.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::{lens, yona};
+
+    #[test]
+    fn space_respects_block_limits() {
+        let l = SearchSpace::for_machine(&lens()); // 512 threads
+        assert!(l.blocks.iter().all(|&(x, y)| x * y <= 512));
+        let y = SearchSpace::for_machine(&yona()); // 1024 threads
+        assert!(y.blocks.iter().any(|&(x, b)| x * b > 512));
+    }
+
+    #[test]
+    fn space_uses_machine_thread_choices() {
+        let y = SearchSpace::for_machine(&yona());
+        assert_eq!(y.threads, vec![1, 2, 3, 6, 12]);
+        assert!(y.len() > 100);
+    }
+}

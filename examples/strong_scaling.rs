@@ -1,0 +1,66 @@
+//! Strong-scaling study (Figures 3–6): the fixed 420³ problem spread over
+//! more and more cores of the two Cray machines, comparing the
+//! bulk-synchronous implementation against the two overlap attempts, and
+//! showing the threads-per-task tuning surface.
+//!
+//! ```text
+//! cargo run --release --example strong_scaling
+//! ```
+
+use advection_overlap::prelude::*;
+
+fn main() {
+    for (m, max_exp) in [(jaguarpf(), 11u32), (hopper_ii(), 12u32)] {
+        println!("== {} — best GF per implementation ==", m.name);
+        println!(
+            "{:>8} {:>14} {:>14} {:>14}  winner",
+            "cores", "bulk-sync", "nonblocking", "thread-overlap"
+        );
+        let base = m.cores_per_node();
+        for e in 0..max_exp {
+            let cores = base << e;
+            let b = best_cpu_gf(&m, CpuImpl::BulkSync, cores);
+            let c = best_cpu_gf(&m, CpuImpl::Nonblocking, cores);
+            let d = best_cpu_gf(&m, CpuImpl::ThreadOverlap, cores);
+            let winner = if c.0 >= b.0 && c.0 >= d.0 {
+                "nonblocking overlap"
+            } else if b.0 >= d.0 {
+                "bulk-synchronous"
+            } else {
+                "thread overlap"
+            };
+            println!("{cores:>8} {:>14.1} {:>14.1} {:>14.1}  {winner}", b.0, c.0, d.0);
+        }
+        println!();
+        println!("threads-per-task sweep for the bulk-synchronous implementation:");
+        print!("{:>8}", "cores");
+        for &t in m.thread_choices {
+            print!(" {:>10}", format!("T={t}"));
+        }
+        println!("  best");
+        for e in 0..max_exp {
+            let cores = base << e;
+            print!("{cores:>8}");
+            let mut best = (0.0, 0usize);
+            for &t in m.thread_choices {
+                if cores % t == 0 {
+                    let gf = CpuScenario::new(&m, cores, t).gf(CpuImpl::BulkSync);
+                    if gf > best.0 {
+                        best = (gf, t);
+                    }
+                    print!(" {gf:>10.1}");
+                } else {
+                    print!(" {:>10}", "-");
+                }
+            }
+            println!("  T={}", best.1);
+        }
+        println!();
+    }
+    println!(
+        "shapes to notice (the paper's findings): nonblocking overlap wins only while\n\
+         per-core work is large — the crossover sits around 4-6k cores on JaguarPF and\n\
+         an order of magnitude higher on Hopper II; the thread-overlap variant lags\n\
+         everywhere; and the best threads-per-task grows with the core count."
+    );
+}

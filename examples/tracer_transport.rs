@@ -1,0 +1,53 @@
+//! A climate-flavored scenario (the paper's motivation is atmospheric
+//! dynamics): transport several independent tracer fields, released from
+//! different positions, through the same velocity field — each tracer
+//! distributed over MPI tasks and verified against its own analytic
+//! solution.
+//!
+//! ```text
+//! cargo run --release --example tracer_transport
+//! ```
+
+use advection_overlap::prelude::*;
+
+fn main() {
+    let n = 32usize;
+    let velocity = Velocity::unit_diagonal();
+    let steps = 24u64;
+
+    // Four tracers released from different positions.
+    let centers = [
+        [0.25, 0.25, 0.25],
+        [0.75, 0.25, 0.50],
+        [0.50, 0.75, 0.25],
+        [0.75, 0.75, 0.75],
+    ];
+    println!(
+        "transporting {} tracers on a {n}³ grid for {steps} steps (8 MPI tasks, 2 threads each)",
+        centers.len()
+    );
+    for (t, &center) in centers.iter().enumerate() {
+        let problem = AdvectionProblem {
+            velocity,
+            nu: velocity.max_stable_nu(),
+            ..AdvectionProblem::paper_case(n)
+        }
+        .with_pulse(center, 0.08);
+        let cfg = overlap::RunConfig::new(problem, steps).tasks(8).with_threads(2);
+        let state = overlap::BulkSyncMpi::run(&cfg);
+        // Each tracer is checked against its own analytic solution and the
+        // serial reference.
+        let mut reference = SerialStepper::new(problem);
+        reference.run(steps);
+        let norms = problem.norms_after(&state, steps);
+        let mass = state.interior_sum();
+        println!(
+            "tracer {t} from {center:?}: bit-exact = {}, Linf vs analytic {:.2e}, mass {:.4}",
+            state.max_abs_diff(reference.state()) == 0.0,
+            norms.linf,
+            mass
+        );
+        assert_eq!(state.max_abs_diff(reference.state()), 0.0);
+    }
+    println!("\nall tracers transported exactly (unit Courant number: pure translation).");
+}

@@ -1,0 +1,52 @@
+//! # advection-overlap
+//!
+//! A Rust reproduction of:
+//!
+//! > JB White III and JJ Dongarra, *Overlapping Computation and
+//! > Communication for Advection on Hybrid Parallel Computers*,
+//! > IPDPS 2011.
+//!
+//! This facade crate re-exports the workspace: start with
+//! [`overlap::Impl`] to run any of the paper's nine implementations
+//! functionally, and [`perfmodel`] / [`figures`] to regenerate the
+//! paper's evaluation. See README.md for a tour and DESIGN.md for the
+//! substitution strategy (the MPI, CUDA, and Cray/Infiniband substrates
+//! are simulated — faithfully enough that every implementation is
+//! bit-identical to the serial reference and every figure's shape
+//! reproduces).
+//!
+//! ```
+//! use advection_overlap::prelude::*;
+//!
+//! // Run the paper's best implementation (IV-I) on a small grid and
+//! // verify it against the serial reference.
+//! let problem = AdvectionProblem::paper_case(12);
+//! let cfg = RunConfig::new(problem, 6).tasks(4).with_threads(2).with_thickness(1);
+//! let state = Impl::HybridOverlap.run(&cfg, Some(&GpuSpec::tesla_c2050()));
+//! let mut reference = SerialStepper::new(problem);
+//! reference.run(6);
+//! assert_eq!(state.max_abs_diff(reference.state()), 0.0);
+//! ```
+
+pub use advect_core;
+pub use decomp;
+pub use figures;
+pub use machine;
+pub use overlap;
+pub use perfmodel;
+pub use simgpu;
+pub use simmpi;
+pub use tuner;
+
+/// Common imports for examples and quick starts.
+pub mod prelude {
+    pub use advect_core::{
+        AdvectionProblem, Field3, GaussianPulse, Norms, SerialStepper, Stencil27, ThreadedStepper,
+        Velocity,
+    };
+    pub use machine::{hopper_ii, jaguarpf, lens, yona, Machine};
+    pub use overlap::{Impl, RunConfig};
+    pub use perfmodel::{best_cpu_gf, best_gpu_gf, CpuImpl, CpuScenario, GpuImpl, GpuScenario};
+    pub use simgpu::{Gpu, GpuSpec};
+    pub use simmpi::{Comm, World};
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the whole pipeline from numerics to
+//! distributed/hybrid execution to figure regeneration.
+
+use advection_overlap::prelude::*;
+
+fn reference(problem: AdvectionProblem, steps: u64) -> Field3 {
+    let mut s = SerialStepper::new(problem);
+    s.run(steps);
+    s.state().clone()
+}
+
+#[test]
+fn every_implementation_is_bit_exact_on_an_awkward_grid() {
+    // A prime-ish grid and task count stresses uneven decomposition,
+    // self-neighbor exchanges, and partial GPU blocks at once.
+    let problem = AdvectionProblem::general_case(13);
+    let steps = 3;
+    let expect = reference(problem, steps);
+    let spec = GpuSpec::tesla_c1060();
+    for im in overlap::Impl::ALL {
+        let cfg = RunConfig::new(problem, steps)
+            .tasks(if im.uses_mpi() { 5 } else { 1 })
+            .with_threads(3)
+            .with_block((8, 4))
+            .with_thickness(1);
+        let got = im.run(&cfg, Some(&spec));
+        assert_eq!(got.max_abs_diff(&expect), 0.0, "{} diverged", im.name());
+    }
+}
+
+#[test]
+fn long_run_distributed_accuracy_matches_serial_accuracy() {
+    // A longer distributed run must track the analytic solution exactly
+    // as well as the serial one (no error injected by communication).
+    let problem = AdvectionProblem::general_case(16);
+    let steps = 24;
+    let serial = reference(problem, steps);
+    let serial_norms = problem.norms_after(&serial, steps);
+    let cfg = RunConfig::new(problem, steps).tasks(8).with_threads(2);
+    let distributed = overlap::Impl::BulkSync.run(&cfg, None);
+    let dist_norms = problem.norms_after(&distributed, steps);
+    assert_eq!(serial_norms.linf, dist_norms.linf);
+    // 16³ barely resolves the pulse (σ ≈ 1.6 cells), so the truncation
+    // error is large in absolute terms; what matters is that it is the
+    // *same* error and bounded.
+    assert!(dist_norms.linf < 0.6, "accuracy degraded: {}", dist_norms.linf);
+}
+
+#[test]
+fn hybrid_partition_respects_load_balance_parameter() {
+    // More thickness → more CPU points, fewer GPU points, same answer.
+    let problem = AdvectionProblem::general_case(14);
+    let expect = reference(problem, 2);
+    let spec = GpuSpec::tesla_c2050();
+    let mut last_cpu_points = 0usize;
+    for t in [1usize, 2, 3] {
+        let part = decomp::BoxPartition::new((14, 14, 14), t);
+        assert!(part.cpu_points() > last_cpu_points);
+        last_cpu_points = part.cpu_points();
+        let cfg = RunConfig::new(problem, 2).tasks(2).with_thickness(t).with_block((8, 8));
+        let got = overlap::Impl::HybridOverlap.run(&cfg, Some(&spec));
+        assert_eq!(got.max_abs_diff(&expect), 0.0, "thickness {t}");
+    }
+}
+
+#[test]
+fn gpu_device_stats_reflect_the_schedule() {
+    // The GPU-resident run should launch exactly one kernel per step and
+    // move no PCIe traffic during the measured loop.
+    let problem = AdvectionProblem::general_case(10);
+    let cfg = RunConfig::new(problem, 5).with_block((8, 8));
+    let gpu = Gpu::new(GpuSpec::tesla_c2050());
+    let state = overlap::GpuResident::run_on(&cfg, &gpu);
+    let stats = gpu.stats();
+    assert_eq!(stats.stencil_launches, 5);
+    assert_eq!(stats.h2d_transfers, 0, "resident run must not touch PCIe");
+    assert_eq!(stats.d2h_transfers, 0);
+    assert_eq!(stats.points_computed, 5 * 1000);
+    let expect = reference(problem, 5);
+    assert_eq!(state.max_abs_diff(&expect), 0.0);
+}
+
+#[test]
+fn perfmodel_and_functional_layer_agree_on_structure() {
+    // The perf model's geometry must match the functional partition: the
+    // number of points the model assigns the CPU equals the functional
+    // BoxPartition's count (continuous vs discrete, within rounding).
+    let m = yona();
+    for t in [1usize, 2, 4] {
+        let s = GpuScenario::new(&m, 12, 12).with_thickness(t);
+        let _ = s; // geometry itself is private; compare through step times:
+        let part = decomp::BoxPartition::new((420, 420, 420), t);
+        let model_like = {
+            let b = 420 - 2 * t;
+            420usize.pow(3) - b.pow(3)
+        };
+        assert_eq!(part.cpu_points(), model_like, "thickness {t}");
+    }
+}
+
+#[test]
+fn figures_regenerate_and_contain_paper_claims() {
+    let figs = figures::all_figures();
+    assert_eq!(figs.len(), 19);
+    // Figure 8's note records the paper's optimum.
+    let f8 = figs.iter().find(|f| f.id == "fig08").unwrap();
+    assert!(f8.notes[0].contains("32x8"));
+    // The anchors figure holds four paper-vs-model pairs.
+    let anchors = figs.iter().find(|f| f.id == "anchors").unwrap();
+    assert_eq!(anchors.series[0].points.len(), 4);
+}
+
+#[test]
+fn simulated_cluster_runs_many_ranks() {
+    // 27 ranks (3×3×3 process grid) on threads: a real all-to-neighbors
+    // workout for the message-passing substrate.
+    let problem = AdvectionProblem::general_case(18);
+    let expect = reference(problem, 2);
+    let cfg = RunConfig::new(problem, 2).tasks(27).with_threads(1);
+    let got = overlap::Impl::Nonblocking.run(&cfg, None);
+    assert_eq!(got.max_abs_diff(&expect), 0.0);
+}
