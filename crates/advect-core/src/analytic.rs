@@ -83,7 +83,12 @@ mod tests {
         let off = (0.07, -0.02, 0.05);
         let v0 = p.eval(1.0 + off.0, 1.0 + off.1, 1.0 + off.2, 0.0);
         let t = 0.37;
-        let v1 = p.eval(1.0 + 1.0 * t + off.0, 1.0 + 1.0 * t + off.1, 1.0 + 1.0 * t + off.2, t);
+        let v1 = p.eval(
+            1.0 + 1.0 * t + off.0,
+            1.0 + 1.0 * t + off.1,
+            1.0 + 1.0 * t + off.2,
+            t,
+        );
         assert!((v0 - v1).abs() < 1e-14);
     }
 

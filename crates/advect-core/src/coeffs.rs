@@ -70,9 +70,9 @@ impl Velocity {
 #[inline]
 pub fn lw_weights_1d(gamma: f64) -> [f64; 3] {
     [
-        0.5 * gamma * (1.0 + gamma),  // w(-1): upwind neighbor
-        1.0 - gamma * gamma,          // w(0):  center
-        0.5 * gamma * (gamma - 1.0),  // w(+1): downwind neighbor
+        0.5 * gamma * (1.0 + gamma), // w(-1): upwind neighbor
+        1.0 - gamma * gamma,         // w(0):  center
+        0.5 * gamma * (gamma - 1.0), // w(+1): downwind neighbor
     ]
 }
 
@@ -143,33 +143,168 @@ impl Stencil27 {
         // Row by row from Table I. The first row's printed "c_x c_y c_y" is
         // the paper's typo for "c_x c_y c_z" (the tensor-product structure
         // and the symmetry of the remaining 26 rows require c_z).
-        set(-1, -1, -1, cx * cy * cz * v3 * (1. + cx * v) * (1. + cy * v) * (1. + cz * v) / 8.);
-        set(-1, -1, 0, -2. * cx * cy * v2 * (1. + cx * v) * (1. + cy * v) * (cz * cz * v2 - 1.) / 8.);
-        set(-1, -1, 1, cx * cy * cz * v3 * (1. + cx * v) * (1. + cy * v) * (cz * v - 1.) / 8.);
-        set(-1, 0, -1, -2. * cx * cz * v2 * (1. + cx * v) * (1. + cz * v) * (cy * cy * v2 - 1.) / 8.);
-        set(-1, 0, 0, 4. * cx * v * (1. + cx * v) * (cy * cy * v2 - 1.) * (cz * cz * v2 - 1.) / 8.);
-        set(-1, 0, 1, -2. * cx * cz * v2 * (1. + cx * v) * (-1. + cz * v) * (-1. + cy * cy * v2) / 8.);
-        set(-1, 1, -1, cx * cy * cz * v3 * (1. + cx * v) * (-1. + cy * v) * (1. + cz * v) / 8.);
-        set(-1, 1, 0, -2. * cx * cy * v2 * (1. + cx * v) * (-1. + cy * v) * (-1. + cz * cz * v2) / 8.);
-        set(-1, 1, 1, cx * cy * cz * v3 * (1. + cx * v) * (-1. + cy * v) * (-1. + cz * v) / 8.);
-        set(0, -1, -1, -2. * cy * cz * v2 * (1. + cy * v) * (1. + cz * v) * (-1. + cx * cx * v2) / 8.);
-        set(0, -1, 0, 4. * cy * v * (1. + cy * v) * (-1. + cx * cx * v2) * (-1. + cz * cz * v2) / 8.);
-        set(0, -1, 1, -2. * cy * cz * v2 * (1. + cy * v) * (-1. + cz * v) * (-1. + cx * cx * v2) / 8.);
-        set(0, 0, -1, 4. * cz * v * (1. + cz * v) * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) / 8.);
-        set(0, 0, 0, -8. * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) * (-1. + cz * cz * v2) / 8.);
-        set(0, 0, 1, 4. * cz * v * (-1. + cz * v) * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) / 8.);
-        set(0, 1, -1, -2. * cy * cz * v2 * (-1. + cy * v) * (1. + cz * v) * (-1. + cx * cx * v2) / 8.);
-        set(0, 1, 0, 4. * cy * v * (-1. + cy * v) * (-1. + cx * cx * v2) * (-1. + cz * cz * v2) / 8.);
-        set(0, 1, 1, -2. * cy * cz * v2 * (-1. + cy * v) * (-1. + cz * v) * (-1. + cx * cx * v2) / 8.);
-        set(1, -1, -1, cx * cy * cz * v3 * (-1. + cx * v) * (1. + cy * v) * (1. + cz * v) / 8.);
-        set(1, -1, 0, -2. * cx * cy * v2 * (-1. + cx * v) * (1. + cy * v) * (-1. + cz * cz * v2) / 8.);
-        set(1, -1, 1, cx * cy * cz * v3 * (-1. + cx * v) * (1. + cy * v) * (-1. + cz * v) / 8.);
-        set(1, 0, -1, -2. * cx * cz * v2 * (-1. + cx * v) * (1. + cz * v) * (-1. + cy * cy * v2) / 8.);
-        set(1, 0, 0, 4. * cx * v * (-1. + cx * v) * (-1. + cy * cy * v2) * (-1. + cz * cz * v2) / 8.);
-        set(1, 0, 1, -2. * cx * cz * v2 * (-1. + cx * v) * (-1. + cz * v) * (-1. + cy * cy * v2) / 8.);
-        set(1, 1, -1, cx * cy * cz * v3 * (-1. + cx * v) * (-1. + cy * v) * (1. + cz * v) / 8.);
-        set(1, 1, 0, -2. * cx * cy * v2 * (-1. + cx * v) * (-1. + cy * v) * (-1. + cz * cz * v2) / 8.);
-        set(1, 1, 1, cx * cy * cz * v3 * (-1. + cx * v) * (-1. + cy * v) * (-1. + cz * v) / 8.);
+        set(
+            -1,
+            -1,
+            -1,
+            cx * cy * cz * v3 * (1. + cx * v) * (1. + cy * v) * (1. + cz * v) / 8.,
+        );
+        set(
+            -1,
+            -1,
+            0,
+            -2. * cx * cy * v2 * (1. + cx * v) * (1. + cy * v) * (cz * cz * v2 - 1.) / 8.,
+        );
+        set(
+            -1,
+            -1,
+            1,
+            cx * cy * cz * v3 * (1. + cx * v) * (1. + cy * v) * (cz * v - 1.) / 8.,
+        );
+        set(
+            -1,
+            0,
+            -1,
+            -2. * cx * cz * v2 * (1. + cx * v) * (1. + cz * v) * (cy * cy * v2 - 1.) / 8.,
+        );
+        set(
+            -1,
+            0,
+            0,
+            4. * cx * v * (1. + cx * v) * (cy * cy * v2 - 1.) * (cz * cz * v2 - 1.) / 8.,
+        );
+        set(
+            -1,
+            0,
+            1,
+            -2. * cx * cz * v2 * (1. + cx * v) * (-1. + cz * v) * (-1. + cy * cy * v2) / 8.,
+        );
+        set(
+            -1,
+            1,
+            -1,
+            cx * cy * cz * v3 * (1. + cx * v) * (-1. + cy * v) * (1. + cz * v) / 8.,
+        );
+        set(
+            -1,
+            1,
+            0,
+            -2. * cx * cy * v2 * (1. + cx * v) * (-1. + cy * v) * (-1. + cz * cz * v2) / 8.,
+        );
+        set(
+            -1,
+            1,
+            1,
+            cx * cy * cz * v3 * (1. + cx * v) * (-1. + cy * v) * (-1. + cz * v) / 8.,
+        );
+        set(
+            0,
+            -1,
+            -1,
+            -2. * cy * cz * v2 * (1. + cy * v) * (1. + cz * v) * (-1. + cx * cx * v2) / 8.,
+        );
+        set(
+            0,
+            -1,
+            0,
+            4. * cy * v * (1. + cy * v) * (-1. + cx * cx * v2) * (-1. + cz * cz * v2) / 8.,
+        );
+        set(
+            0,
+            -1,
+            1,
+            -2. * cy * cz * v2 * (1. + cy * v) * (-1. + cz * v) * (-1. + cx * cx * v2) / 8.,
+        );
+        set(
+            0,
+            0,
+            -1,
+            4. * cz * v * (1. + cz * v) * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) / 8.,
+        );
+        set(
+            0,
+            0,
+            0,
+            -8. * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) * (-1. + cz * cz * v2) / 8.,
+        );
+        set(
+            0,
+            0,
+            1,
+            4. * cz * v * (-1. + cz * v) * (-1. + cx * cx * v2) * (-1. + cy * cy * v2) / 8.,
+        );
+        set(
+            0,
+            1,
+            -1,
+            -2. * cy * cz * v2 * (-1. + cy * v) * (1. + cz * v) * (-1. + cx * cx * v2) / 8.,
+        );
+        set(
+            0,
+            1,
+            0,
+            4. * cy * v * (-1. + cy * v) * (-1. + cx * cx * v2) * (-1. + cz * cz * v2) / 8.,
+        );
+        set(
+            0,
+            1,
+            1,
+            -2. * cy * cz * v2 * (-1. + cy * v) * (-1. + cz * v) * (-1. + cx * cx * v2) / 8.,
+        );
+        set(
+            1,
+            -1,
+            -1,
+            cx * cy * cz * v3 * (-1. + cx * v) * (1. + cy * v) * (1. + cz * v) / 8.,
+        );
+        set(
+            1,
+            -1,
+            0,
+            -2. * cx * cy * v2 * (-1. + cx * v) * (1. + cy * v) * (-1. + cz * cz * v2) / 8.,
+        );
+        set(
+            1,
+            -1,
+            1,
+            cx * cy * cz * v3 * (-1. + cx * v) * (1. + cy * v) * (-1. + cz * v) / 8.,
+        );
+        set(
+            1,
+            0,
+            -1,
+            -2. * cx * cz * v2 * (-1. + cx * v) * (1. + cz * v) * (-1. + cy * cy * v2) / 8.,
+        );
+        set(
+            1,
+            0,
+            0,
+            4. * cx * v * (-1. + cx * v) * (-1. + cy * cy * v2) * (-1. + cz * cz * v2) / 8.,
+        );
+        set(
+            1,
+            0,
+            1,
+            -2. * cx * cz * v2 * (-1. + cx * v) * (-1. + cz * v) * (-1. + cy * cy * v2) / 8.,
+        );
+        set(
+            1,
+            1,
+            -1,
+            cx * cy * cz * v3 * (-1. + cx * v) * (-1. + cy * v) * (1. + cz * v) / 8.,
+        );
+        set(
+            1,
+            1,
+            0,
+            -2. * cx * cy * v2 * (-1. + cx * v) * (-1. + cy * v) * (-1. + cz * cz * v2) / 8.,
+        );
+        set(
+            1,
+            1,
+            1,
+            cx * cy * cz * v3 * (-1. + cx * v) * (-1. + cy * v) * (-1. + cz * v) / 8.,
+        );
         s
     }
 
@@ -268,7 +403,11 @@ mod tests {
 
     #[test]
     fn coefficients_sum_to_one() {
-        for &(cx, cy, cz, nu) in &[(1.0, 1.0, 1.0, 1.0), (0.3, -0.8, 0.5, 0.7), (1.0, 2.0, 3.0, 0.2)] {
+        for &(cx, cy, cz, nu) in &[
+            (1.0, 1.0, 1.0, 1.0),
+            (0.3, -0.8, 0.5, 0.7),
+            (1.0, 2.0, 3.0, 0.2),
+        ] {
             let s = Stencil27::new(Velocity::new(cx, cy, cz), nu);
             assert!(close(s.sum(), 1.0), "sum = {}", s.sum());
         }
@@ -304,7 +443,11 @@ mod tests {
             for j in -1i32..=1 {
                 for i in -1i32..=1 {
                     let expect = if (i, j, k) == (-1, -1, -1) { 1.0 } else { 0.0 };
-                    assert!(close(s.at(i, j, k), expect), "a({i},{j},{k}) = {}", s.at(i, j, k));
+                    assert!(
+                        close(s.at(i, j, k), expect),
+                        "a({i},{j},{k}) = {}",
+                        s.at(i, j, k)
+                    );
                 }
             }
         }
@@ -323,7 +466,11 @@ mod tests {
     fn zero_velocity_is_identity() {
         let s = Stencil27::new(Velocity::new(0.0, 0.0, 0.0), 0.9);
         for idx in 0..27 {
-            let expect = if idx == Stencil27::offset_index(0, 0, 0) { 1.0 } else { 0.0 };
+            let expect = if idx == Stencil27::offset_index(0, 0, 0) {
+                1.0
+            } else {
+                0.0
+            };
             assert!(close(s.a[idx], expect));
         }
     }

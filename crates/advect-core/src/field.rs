@@ -58,7 +58,12 @@ impl Range3 {
 
     /// Whether a point lies inside this range.
     pub fn contains(&self, x: i64, y: i64, z: i64) -> bool {
-        x >= self.x.0 && x < self.x.1 && y >= self.y.0 && y < self.y.1 && z >= self.z.0 && z < self.z.1
+        x >= self.x.0
+            && x < self.x.1
+            && y >= self.y.0
+            && y < self.y.1
+            && z >= self.z.0
+            && z < self.z.1
     }
 }
 
@@ -89,7 +94,10 @@ impl Field3 {
     /// Allocate a zero-filled field with the given interior size and halo
     /// width.
     pub fn new(nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "interior dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "interior dimensions must be positive"
+        );
         let (sx, sy, sz) = (nx + 2 * halo, ny + 2 * halo, nz + 2 * halo);
         Self {
             nx,
@@ -120,7 +128,11 @@ impl Field3 {
 
     /// The interior as a [`Range3`].
     pub fn interior_range(&self) -> Range3 {
-        Range3::new((0, self.nx as i64), (0, self.ny as i64), (0, self.nz as i64))
+        Range3::new(
+            (0, self.nx as i64),
+            (0, self.ny as i64),
+            (0, self.nz as i64),
+        )
     }
 
     /// The full allocation (interior + halo) as a [`Range3`].
@@ -137,9 +149,18 @@ impl Field3 {
     #[inline]
     pub fn idx(&self, x: i64, y: i64, z: i64) -> usize {
         let h = self.h as i64;
-        debug_assert!(x >= -h && x < (self.nx + self.h) as i64, "x={x} out of range");
-        debug_assert!(y >= -h && y < (self.ny + self.h) as i64, "y={y} out of range");
-        debug_assert!(z >= -h && z < (self.nz + self.h) as i64, "z={z} out of range");
+        debug_assert!(
+            x >= -h && x < (self.nx + self.h) as i64,
+            "x={x} out of range"
+        );
+        debug_assert!(
+            y >= -h && y < (self.ny + self.h) as i64,
+            "y={y} out of range"
+        );
+        debug_assert!(
+            z >= -h && z < (self.nz + self.h) as i64,
+            "z={z} out of range"
+        );
         let ix = (x + h) as usize;
         let iy = (y + h) as usize;
         let iz = (z + h) as usize;
@@ -157,6 +178,24 @@ impl Field3 {
     pub fn at_mut(&mut self, x: i64, y: i64, z: i64) -> &mut f64 {
         let i = self.idx(x, y, z);
         &mut self.data[i]
+    }
+
+    /// The contiguous x-row starting at interior-relative `(x0, y, z)`,
+    /// spanning `w` points. Rows are the unit of work for the
+    /// row-vectorized stencil kernels: slicing once per row removes the
+    /// per-element bounds checks from the inner loops.
+    #[inline]
+    pub fn row(&self, x0: i64, y: i64, z: i64, w: usize) -> &[f64] {
+        let i = self.idx(x0, y, z);
+        &self.data[i..i + w]
+    }
+
+    /// Mutable contiguous x-row starting at `(x0, y, z)`, spanning `w`
+    /// points.
+    #[inline]
+    pub fn row_mut(&mut self, x0: i64, y: i64, z: i64, w: usize) -> &mut [f64] {
+        let i = self.idx(x0, y, z);
+        &mut self.data[i..i + w]
     }
 
     /// Raw data slice (interior + halo, x fastest).
@@ -303,7 +342,10 @@ impl Field3 {
             assert!(w[0] < w[1], "cuts must be strictly increasing");
         }
         if let (Some(&first), Some(&last)) = (cuts.first(), cuts.last()) {
-            assert!(first > 0 && last < nz, "cuts must lie strictly inside (0, nz)");
+            assert!(
+                first > 0 && last < nz,
+                "cuts must lie strictly inside (0, nz)"
+            );
         }
         let plane = self.sx * self.sy;
         let mut bounds: Vec<(i64, i64)> = Vec::with_capacity(cuts.len() + 1);
@@ -430,6 +472,38 @@ impl<'a> SharedField<'a> {
         unsafe { *self.cells[self.index(x, y, z)].get() }
     }
 
+    /// A contiguous x-row as a shared slice, starting at interior-relative
+    /// `(x0, y, z)` and spanning `w` points.
+    ///
+    /// # Safety
+    ///
+    /// No thread may write any of the `w` points while the returned slice
+    /// lives. This is stronger than the per-access contract of
+    /// [`SharedField::read`]: the exclusion must hold for the slice's
+    /// whole lifetime, not just one access.
+    #[inline]
+    pub unsafe fn row(&self, x0: i64, y: i64, z: i64, w: usize) -> &[f64] {
+        let i = self.index(x0, y, z);
+        debug_assert!(i + w <= self.cells.len());
+        std::slice::from_raw_parts(self.cells[i].get() as *const f64, w)
+    }
+
+    /// A contiguous x-row as an exclusive slice, starting at
+    /// interior-relative `(x0, y, z)` and spanning `w` points.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the `w` points for the
+    /// lifetime of the returned slice — no other thread (nor this one,
+    /// through another handle) may read or write them.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // UnsafeCell interior mutability; see Safety.
+    pub unsafe fn row_mut(&self, x0: i64, y: i64, z: i64, w: usize) -> &mut [f64] {
+        let i = self.index(x0, y, z);
+        debug_assert!(i + w <= self.cells.len());
+        std::slice::from_raw_parts_mut(self.cells[i].get(), w)
+    }
+
     /// Pack a region into a new buffer (x fastest), reading through the
     /// shared cells.
     pub fn pack(&self, region: Range3) -> Vec<f64> {
@@ -489,6 +563,14 @@ impl ZSlabMut<'_> {
     pub fn at_mut(&mut self, x: i64, y: i64, z: i64) -> &mut f64 {
         let i = self.idx(x, y, z);
         &mut self.data[i]
+    }
+
+    /// Mutable contiguous x-row starting at interior-relative parent
+    /// coordinates `(x0, y, z)`, spanning `w` points.
+    #[inline]
+    pub fn row_mut(&mut self, x0: i64, y: i64, z: i64, w: usize) -> &mut [f64] {
+        let i = self.idx(x0, y, z);
+        &mut self.data[i..i + w]
     }
 
     /// The interior range owned by this slab, clipped from `full`.
@@ -625,6 +707,54 @@ mod tests {
     fn z_slabs_rejects_unsorted_cuts() {
         let mut f = Field3::new(2, 2, 6, 1);
         let _ = f.z_slabs_mut(&[4, 2]);
+    }
+
+    #[test]
+    fn row_accessors_match_point_access() {
+        let mut f = Field3::new(5, 4, 3, 1);
+        f.fill_interior(|x, y, z| (x + 10 * y + 100 * z) as f64);
+        f.copy_periodic_halo();
+        // Rows may start in the halo and span into it.
+        let r = f.row(-1, 2, 1, 7);
+        for (i, &v) in r.iter().enumerate() {
+            assert_eq!(v, f.at(-1 + i as i64, 2, 1));
+        }
+        let row = f.row_mut(0, 1, 1, 5);
+        row.copy_from_slice(&[9.0; 5]);
+        assert_eq!(f.at(3, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn shared_field_rows_alias_the_field() {
+        let mut f = Field3::new(4, 4, 4, 1);
+        f.fill_interior(|x, y, z| (x + 10 * y + 100 * z) as f64);
+        {
+            let sh = SharedField::new(&mut f);
+            // SAFETY: single-threaded test; no concurrent access.
+            let r = unsafe { sh.row(0, 2, 3, 4) };
+            for (i, &v) in r.iter().enumerate() {
+                assert_eq!(v, sh.read(i as i64, 2, 3));
+            }
+            let w = unsafe { sh.row_mut(1, 1, 1, 2) };
+            w[0] = -5.0;
+            w[1] = -6.0;
+        }
+        assert_eq!(f.at(1, 1, 1), -5.0);
+        assert_eq!(f.at(2, 1, 1), -6.0);
+    }
+
+    #[test]
+    fn z_slab_row_mut_writes_through() {
+        let mut f = Field3::new(4, 4, 6, 1);
+        f.fill_interior(|x, y, z| (x + 10 * y + 100 * z) as f64);
+        {
+            let mut slabs = f.z_slabs_mut(&[3]);
+            let row = slabs[1].row_mut(0, 0, 4, 4);
+            row.fill(7.5);
+        }
+        for x in 0..4 {
+            assert_eq!(f.at(x, 0, 4), 7.5);
+        }
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   state copy) ([`stepper`]),
 //! * an **OpenMP-like thread team** with `static` and `guided` loop
 //!   scheduling, used by the threaded steppers and by the overlap
-//!   implementations in the `overlap` crate ([`team`]).
+//!   implementations in the `overlap` crate ([`team`]),
+//! * a **work-queue sweep executor** with deterministic result ordering,
+//!   used by the tuning sweeps and figure generators downstream
+//!   ([`sweep`]).
 //!
 //! The floating-point cost model follows the paper: 53 flops per grid point
 //! per step (27 multiplications + 26 additions), see [`flops`].
@@ -34,6 +37,7 @@ pub mod flops;
 pub mod norms;
 pub mod stencil;
 pub mod stepper;
+pub mod sweep;
 pub mod team;
 pub mod vonneumann;
 
@@ -43,5 +47,6 @@ pub use field::Field3;
 pub use norms::{l1_norm, l2_norm, linf_norm, Norms};
 pub use stencil::apply_stencil_region;
 pub use stepper::{AdvectionProblem, SerialStepper, ThreadedStepper};
+pub use sweep::SweepPool;
 pub use team::{Schedule, ThreadTeam};
 pub use vonneumann::{amplification_factor, is_stable, max_amplification};

@@ -51,7 +51,12 @@ impl Norms {
         spacing: f64,
         t: f64,
     ) -> Norms {
-        let mut exact = Field3::new(field.interior().0, field.interior().1, field.interior().2, field.halo());
+        let mut exact = Field3::new(
+            field.interior().0,
+            field.interior().1,
+            field.interior().2,
+            field.halo(),
+        );
         exact.fill_interior(|x, y, z| {
             solution.eval(
                 origin[0] + x as f64 * spacing,
@@ -114,7 +119,12 @@ mod tests {
         let spacing = 1.0 / n as f64;
         let mut f = Field3::new(n, n, n, 1);
         f.fill_interior(|x, y, z| {
-            p.eval(x as f64 * spacing, y as f64 * spacing, z as f64 * spacing, 0.0)
+            p.eval(
+                x as f64 * spacing,
+                y as f64 * spacing,
+                z as f64 * spacing,
+                0.0,
+            )
         });
         let norms = Norms::against_analytic(&f, &p, [0.0; 3], spacing, 0.0);
         assert_eq!(norms.linf, 0.0);

@@ -5,9 +5,107 @@
 //! partitioned-for-overlap, and the functional GPU kernels — funnels
 //! through the same arithmetic, so all of them produce bit-identical
 //! results (the operations are performed in the same order per point).
+//!
+//! # Fast path and scalar oracle
+//!
+//! Each entry point has two implementations that are bit-identical by
+//! construction:
+//!
+//! * The **row-vectorized fast path** (default): each x-row of the
+//!   region is processed in small fixed-size chunks; a chunk-sized local
+//!   accumulator (which the compiler keeps in vector registers) is zeroed
+//!   and then each of the 27 taps adds `coef[t] * src` over a pre-sliced
+//!   window of the tap's source row. Slicing once per tap removes the
+//!   per-element bounds checks, the fixed chunk width lets the additions
+//!   auto-vectorize across x, and accumulating in registers instead of
+//!   re-reading the destination row avoids 27 store/reload passes.
+//! * The **scalar oracle** (`apply_stencil_*_scalar`): the original
+//!   per-point loop, kept as the reference the differential tests compare
+//!   against. Building with `--features scalar-kernels` routes the public
+//!   entry points through the oracle instead.
+//!
+//! Bit-identity holds because each output element sees exactly the same
+//! sequence of floating-point operations on both paths: start from `0.0`,
+//! then add `coef[t] * src[...]` for taps `t = 0..27` in fixed order. The
+//! fast path merely interchanges the (x, tap) loops, which never reorders
+//! the additions *within* one output element.
 
 use crate::coeffs::Stencil27;
 use crate::field::{Field3, Range3};
+
+/// Precompute the 27 flat-index offsets for an `(sx, sy)`-strided field,
+/// in the fixed tap order (k slowest, i fastest). Tap `t` pairs with
+/// coefficient `s.a[t]`: [`Stencil27`] stores its coefficients in this
+/// same order.
+#[inline]
+fn tap_offsets(sx: usize, sy: usize) -> [i64; 27] {
+    let stride_y = sx as i64;
+    let stride_z = (sx * sy) as i64;
+    let mut offs = [0i64; 27];
+    let mut n = 0;
+    for k in -1i64..=1 {
+        for j in -1i64..=1 {
+            for i in -1i64..=1 {
+                offs[n] = i + j * stride_y + k * stride_z;
+                n += 1;
+            }
+        }
+    }
+    offs
+}
+
+/// Row-wise tap accumulation over a strided source: slices the 27 tap
+/// windows out of `sd` and delegates to [`accumulate_tap_rows`].
+#[inline]
+fn accumulate_row(dst_row: &mut [f64], sd: &[f64], base: i64, offs: &[i64; 27], coef: &[f64; 27]) {
+    let w = dst_row.len();
+    let rows: [&[f64]; 27] = std::array::from_fn(|t| {
+        let s0 = (base + offs[t]) as usize;
+        &sd[s0..s0 + w]
+    });
+    accumulate_tap_rows(dst_row, &rows, coef);
+}
+
+/// Accumulate 27 tap rows into a destination row:
+/// `dst[x] = Σₜ coef[t] · rows[t][x]`, taps added in order `t = 0..27`.
+///
+/// Per output element this performs exactly the scalar sequence
+/// `acc = 0.0; acc += coef[0]·v₀; …; acc += coef[26]·v₂₆;`, so the result
+/// is bit-identical to the scalar oracle. The row is processed in
+/// [`ROW_CHUNK`]-wide pieces whose local accumulator array stays in
+/// vector registers: the tap loop reads only the source rows, never the
+/// destination, and each chunk is stored exactly once.
+///
+/// Shared with the `simgpu` functional kernels, which feed it rows of
+/// their staged shared-memory tiles.
+///
+/// # Panics
+///
+/// If any `rows[t]` is shorter than `dst_row`.
+pub fn accumulate_tap_rows(dst_row: &mut [f64], rows: &[&[f64]; 27], coef: &[f64; 27]) {
+    const ROW_CHUNK: usize = 16;
+    let w = dst_row.len();
+    let mut x = 0;
+    while x + ROW_CHUNK <= w {
+        let mut acc = [0.0f64; ROW_CHUNK];
+        for t in 0..27 {
+            let c = coef[t];
+            let src = &rows[t][x..x + ROW_CHUNK];
+            for l in 0..ROW_CHUNK {
+                acc[l] += c * src[l];
+            }
+        }
+        dst_row[x..x + ROW_CHUNK].copy_from_slice(&acc);
+        x += ROW_CHUNK;
+    }
+    for (i, d) in dst_row[x..].iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for t in 0..27 {
+            acc += coef[t] * rows[t][x + i];
+        }
+        *d = acc;
+    }
+}
 
 /// Apply Equation 2 to `region` of `src`, writing into the same region of
 /// `dst`. `src` must have valid halo/neighbor values for every point that
@@ -16,23 +114,33 @@ use crate::field::{Field3, Range3};
 /// Cost: 53 flops per point (27 multiplications + 26 additions), exactly
 /// the count the paper uses to convert measured time into GF.
 pub fn apply_stencil_region(src: &Field3, dst: &mut Field3, s: &Stencil27, region: Range3) {
+    if cfg!(feature = "scalar-kernels") {
+        return apply_stencil_region_scalar(src, dst, s, region);
+    }
     assert_eq!(src.interior(), dst.interior(), "field sizes must match");
+    let w = (region.x.1 - region.x.0).max(0) as usize;
+    if w == 0 {
+        return;
+    }
     let (sx, sy, _) = src.extents();
-    let stride_y = sx as i64;
-    let stride_z = (sx * sy) as i64;
-    // Precompute the 27 flat-index offsets once.
-    let mut offs = [0i64; 27];
-    let mut coef = [0f64; 27];
-    let mut n = 0;
-    for k in -1i64..=1 {
-        for j in -1i64..=1 {
-            for i in -1i64..=1 {
-                offs[n] = i + j * stride_y + k * stride_z;
-                coef[n] = s.at(i as i32, j as i32, k as i32);
-                n += 1;
-            }
+    let offs = tap_offsets(sx, sy);
+    let sd = src.data();
+    for z in region.z.0..region.z.1 {
+        for y in region.y.0..region.y.1 {
+            let base = src.idx(region.x.0, y, z) as i64;
+            let dst_row = dst.row_mut(region.x.0, y, z, w);
+            accumulate_row(dst_row, sd, base, &offs, &s.a);
         }
     }
+}
+
+/// Scalar per-point oracle for [`apply_stencil_region`]. Kept as the
+/// reference implementation the differential tests compare against.
+pub fn apply_stencil_region_scalar(src: &Field3, dst: &mut Field3, s: &Stencil27, region: Range3) {
+    assert_eq!(src.interior(), dst.interior(), "field sizes must match");
+    let (sx, sy, _) = src.extents();
+    let offs = tap_offsets(sx, sy);
+    let coef = s.a;
     let sd = src.data();
     for z in region.z.0..region.z.1 {
         for y in region.y.0..region.y.1 {
@@ -67,25 +175,40 @@ pub fn apply_stencil_slab(
     s: &Stencil27,
     region: Range3,
 ) {
+    if cfg!(feature = "scalar-kernels") {
+        return apply_stencil_slab_scalar(src, dst, s, region);
+    }
+    let clipped = dst.owned_region(region);
+    if clipped.is_empty() {
+        return;
+    }
+    let w = (clipped.x.1 - clipped.x.0) as usize;
+    let (sx, sy, _) = src.extents();
+    let offs = tap_offsets(sx, sy);
+    let sd = src.data();
+    for z in clipped.z.0..clipped.z.1 {
+        for y in clipped.y.0..clipped.y.1 {
+            let base = src.idx(clipped.x.0, y, z) as i64;
+            let dst_row = dst.row_mut(clipped.x.0, y, z, w);
+            accumulate_row(dst_row, sd, base, &offs, &s.a);
+        }
+    }
+}
+
+/// Scalar per-point oracle for [`apply_stencil_slab`].
+pub fn apply_stencil_slab_scalar(
+    src: &Field3,
+    dst: &mut crate::field::ZSlabMut<'_>,
+    s: &Stencil27,
+    region: Range3,
+) {
     let clipped = dst.owned_region(region);
     if clipped.is_empty() {
         return;
     }
     let (sx, sy, _) = src.extents();
-    let stride_y = sx as i64;
-    let stride_z = (sx * sy) as i64;
-    let mut offs = [0i64; 27];
-    let mut coef = [0f64; 27];
-    let mut n = 0;
-    for k in -1i64..=1 {
-        for j in -1i64..=1 {
-            for i in -1i64..=1 {
-                offs[n] = i + j * stride_y + k * stride_z;
-                coef[n] = s.at(i as i32, j as i32, k as i32);
-                n += 1;
-            }
-        }
-    }
+    let offs = tap_offsets(sx, sy);
+    let coef = s.a;
     let sd = src.data();
     for z in clipped.z.0..clipped.z.1 {
         for y in clipped.y.0..clipped.y.1 {
@@ -131,21 +254,38 @@ pub fn apply_stencil_shared(
     s: &Stencil27,
     region: Range3,
 ) {
+    if cfg!(feature = "scalar-kernels") {
+        return apply_stencil_shared_scalar(src, dst, s, region);
+    }
+    let w = (region.x.1 - region.x.0).max(0) as usize;
+    if w == 0 {
+        return;
+    }
     let (sx, sy, _) = src.extents();
-    let stride_y = sx as i64;
-    let stride_z = (sx * sy) as i64;
-    let mut offs = [0i64; 27];
-    let mut coef = [0f64; 27];
-    let mut n = 0;
-    for k in -1i64..=1 {
-        for j in -1i64..=1 {
-            for i in -1i64..=1 {
-                offs[n] = i + j * stride_y + k * stride_z;
-                coef[n] = s.at(i as i32, j as i32, k as i32);
-                n += 1;
-            }
+    let offs = tap_offsets(sx, sy);
+    let sd = src.data();
+    for z in region.z.0..region.z.1 {
+        for y in region.y.0..region.y.1 {
+            let base = src.idx(region.x.0, y, z) as i64;
+            // SAFETY: the caller's disjoint-region contract gives this
+            // thread exclusive access to every point of `region`,
+            // including this row.
+            let dst_row = unsafe { dst.row_mut(region.x.0, y, z, w) };
+            accumulate_row(dst_row, sd, base, &offs, &s.a);
         }
     }
+}
+
+/// Scalar per-point oracle for [`apply_stencil_shared`].
+pub fn apply_stencil_shared_scalar(
+    src: &Field3,
+    dst: &crate::field::SharedWriter<'_>,
+    s: &Stencil27,
+    region: Range3,
+) {
+    let (sx, sy, _) = src.extents();
+    let offs = tap_offsets(sx, sy);
+    let coef = s.a;
     let sd = src.data();
     for z in region.z.0..region.z.1 {
         for y in region.y.0..region.y.1 {
@@ -180,23 +320,68 @@ pub fn apply_stencil_cells(
     s: &Stencil27,
     region: Range3,
 ) {
+    if cfg!(feature = "scalar-kernels") {
+        return apply_stencil_cells_scalar(src, dst, s, region);
+    }
+    let w = (region.x.1 - region.x.0).max(0) as usize;
+    if w == 0 {
+        return;
+    }
+    let (doffs, coef) = cell_taps(s);
+    for z in region.z.0..region.z.1 {
+        for y in region.y.0..region.y.1 {
+            // SAFETY: the caller's disjoint-region contract gives this
+            // thread exclusive access to every point of `region`,
+            // including this row.
+            let dst_row = unsafe { dst.row_mut(region.x.0, y, z, w) };
+            // SAFETY: the points a stencil application reads are, per the
+            // contract, not written concurrently by any thread.
+            let rows: [&[f64]; 27] = std::array::from_fn(|t| {
+                let (di, dj, dk) = doffs[t];
+                unsafe { src.row(region.x.0 + di, y + dj, z + dk, w) }
+            });
+            accumulate_tap_rows(dst_row, &rows, &coef);
+        }
+    }
+}
+
+/// Scalar per-point oracle for [`apply_stencil_cells`].
+pub fn apply_stencil_cells_scalar(
+    src: &crate::field::SharedField<'_>,
+    dst: &crate::field::SharedField<'_>,
+    s: &Stencil27,
+    region: Range3,
+) {
+    let (doffs, coef) = cell_taps(s);
     for z in region.z.0..region.z.1 {
         for y in region.y.0..region.y.1 {
             for x in region.x.0..region.x.1 {
                 let mut acc = 0.0;
-                let mut t = 0;
-                for k in -1i64..=1 {
-                    for j in -1i64..=1 {
-                        for i in -1i64..=1 {
-                            acc += s.a[t] * src.read(x + i, y + j, z + k);
-                            t += 1;
-                        }
-                    }
+                for t in 0..27 {
+                    let (di, dj, dk) = doffs[t];
+                    acc += coef[t] * src.read(x + di, y + dj, z + dk);
                 }
                 dst.write(x, y, z, acc);
             }
         }
     }
+}
+
+/// Precompute the 27 coordinate offsets and coefficients for the
+/// cell-based kernels, in the same fixed tap order as [`tap_offsets`].
+#[inline]
+fn cell_taps(s: &Stencil27) -> ([(i64, i64, i64); 27], [f64; 27]) {
+    let mut doffs = [(0i64, 0i64, 0i64); 27];
+    let mut n = 0;
+    for k in -1i64..=1 {
+        for j in -1i64..=1 {
+            for i in -1i64..=1 {
+                doffs[n] = (i, j, k);
+                n += 1;
+            }
+        }
+    }
+    (doffs, s.a)
 }
 
 /// Apply the stencil to the entire interior of `src`.
@@ -274,6 +459,66 @@ mod tests {
         for (x, y, z) in dst.interior_range().iter() {
             assert_eq!(dst.at(x, y, z), 0.0);
         }
+    }
+
+    #[test]
+    fn fast_path_matches_scalar_oracle_exactly() {
+        let s = Stencil27::new(Velocity::new(0.37, -0.81, 0.59), 0.93);
+        let src = filled(9, |x, y, z| {
+            ((x * 37 + y * 91 + z * 13) % 17) as f64 * 0.193 - 1.1
+        });
+        // Irregular sub-regions, including empty and single-row ones.
+        let regions = [
+            src.interior_range(),
+            Range3::new((1, 8), (2, 7), (0, 9)),
+            Range3::new((0, 1), (0, 9), (4, 5)),
+            Range3::new((3, 3), (0, 9), (0, 9)),
+            Range3::new((2, 6), (8, 9), (1, 2)),
+        ];
+        for r in regions {
+            let mut fast = Field3::new(9, 9, 9, 1);
+            let mut scalar = Field3::new(9, 9, 9, 1);
+            apply_stencil_region(&src, &mut fast, &s, r);
+            apply_stencil_region_scalar(&src, &mut scalar, &s, r);
+            assert_eq!(fast.max_abs_diff(&scalar), 0.0, "region {r:?}");
+            assert_eq!(fast.data(), scalar.data(), "region {r:?} (incl. halo)");
+        }
+    }
+
+    #[test]
+    fn slab_and_shared_and_cells_match_scalar_oracles() {
+        use crate::field::SharedField;
+        let s = Stencil27::new(Velocity::new(0.9, 0.2, -0.5), 0.77);
+        let src = filled(8, |x, y, z| ((x * 5 + y * 11 + z * 3) % 7) as f64 * 0.31);
+        let region = Range3::new((1, 7), (0, 8), (2, 8));
+
+        let mut reference = Field3::new(8, 8, 8, 1);
+        apply_stencil_region_scalar(&src, &mut reference, &s, region);
+
+        // Slab path.
+        let mut via_slab = Field3::new(8, 8, 8, 1);
+        for slab in &mut via_slab.z_slabs_mut(&[4]) {
+            apply_stencil_slab(&src, slab, &s, region);
+        }
+        assert_eq!(reference.max_abs_diff(&via_slab), 0.0);
+
+        // Shared-writer path.
+        let mut via_shared = Field3::new(8, 8, 8, 1);
+        {
+            let writer = SharedField::new(&mut via_shared);
+            apply_stencil_shared(&src, &writer, &s, region);
+        }
+        assert_eq!(reference.max_abs_diff(&via_shared), 0.0);
+
+        // Cell-based path (shared src and dst).
+        let mut src_cells = src.clone();
+        let mut via_cells = Field3::new(8, 8, 8, 1);
+        {
+            let sc = SharedField::new(&mut src_cells);
+            let dc = SharedField::new(&mut via_cells);
+            apply_stencil_cells(&sc, &dc, &s, region);
+        }
+        assert_eq!(reference.max_abs_diff(&via_cells), 0.0);
     }
 
     #[test]

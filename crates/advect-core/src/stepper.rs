@@ -107,7 +107,13 @@ impl AdvectionProblem {
     /// Error norms of `state` against the analytic solution after `steps`
     /// time steps.
     pub fn norms_after(&self, state: &Field3, steps: u64) -> Norms {
-        Norms::against_analytic(state, &self.pulse(), [0.0; 3], self.spacing, steps as f64 * self.dt())
+        Norms::against_analytic(
+            state,
+            &self.pulse(),
+            [0.0; 3],
+            self.spacing,
+            steps as f64 * self.dt(),
+        )
     }
 }
 
@@ -317,8 +323,14 @@ mod tests {
         }
         let r1 = errors[0] / errors[1];
         let r2 = errors[1] / errors[2];
-        assert!(r1 > 2.8, "refinement ratio too small: {r1} (errors {errors:?})");
-        assert!(r2 > 2.8, "refinement ratio too small: {r2} (errors {errors:?})");
+        assert!(
+            r1 > 2.8,
+            "refinement ratio too small: {r1} (errors {errors:?})"
+        );
+        assert!(
+            r2 > 2.8,
+            "refinement ratio too small: {r2} (errors {errors:?})"
+        );
     }
 
     #[test]
@@ -326,11 +338,7 @@ mod tests {
         let problem = AdvectionProblem::paper_case(10);
         let mut s = SerialStepper::new(problem);
         s.run(50);
-        let max = s
-            .state()
-            .data()
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let max = s.state().data().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(max <= 1.0 + 1e-9, "solution grew to {max}");
     }
 
@@ -343,10 +351,7 @@ mod tests {
         let m0 = s.state().interior_sum();
         s.run(40);
         let m1 = s.state().interior_sum();
-        assert!(
-            ((m1 - m0) / m0).abs() < 1e-12,
-            "mass drifted: {m0} -> {m1}"
-        );
+        assert!(((m1 - m0) / m0).abs() < 1e-12, "mass drifted: {m0} -> {m1}");
     }
 
     #[test]

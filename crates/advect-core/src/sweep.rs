@@ -1,0 +1,195 @@
+//! Work-queue sweep executor for independent model evaluations.
+//!
+//! The tuning sweeps (`perfmodel::sweep`), the auto-tuner searches
+//! (`tuner`), and the figure series generators (`figures`) all evaluate
+//! many *independent* (configuration → GF) points. [`SweepPool`] runs such
+//! batches across a fixed set of worker threads pulling indices from a
+//! shared atomic work queue, while keeping the results **deterministic**:
+//!
+//! * results are returned in submission (index) order, no matter which
+//!   worker computed them or in what order they finished;
+//! * consumers reduce the ordered results serially (e.g. argmax with a
+//!   strict `>` fold), so ties break exactly as in a serial scan and
+//!   figure CSV/JSON output stays byte-identical to a serial run.
+//!
+//! On a single-core host (or with `ADVECT_SWEEP_THREADS=1`) the pool
+//! degrades to inline evaluation on the calling thread with no spawning
+//! and no queue traffic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A fixed-width pool for embarrassingly parallel sweeps.
+///
+/// The pool is only a width; workers are scoped threads spawned per
+/// batch (`std::thread::scope`), so closures may borrow stack data and
+/// no threads idle between sweeps.
+///
+/// ```
+/// use advect_core::sweep::SweepPool;
+/// let pool = SweepPool::new(4);
+/// let squares = pool.map_indices(10, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPool {
+    threads: usize,
+}
+
+impl SweepPool {
+    /// A pool of `threads` workers (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a sweep pool needs at least one worker");
+        Self { threads }
+    }
+
+    /// The process-wide pool, sized from `std::thread::available_parallelism`
+    /// (overridable with the `ADVECT_SWEEP_THREADS` environment variable).
+    pub fn global() -> &'static SweepPool {
+        static GLOBAL: OnceLock<SweepPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("ADVECT_SWEEP_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+            SweepPool::new(threads)
+        })
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluate `f(0), …, f(n-1)` across the pool and return the results
+    /// **in index order**. Workers claim indices from a shared atomic
+    /// counter, so an expensive point never blocks the rest of the batch
+    /// behind a static partition.
+    pub fn map_indices<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("sweep worker panicked"));
+            }
+        });
+        // Re-establish submission order: place each result in its slot.
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (i, r) in parts.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} evaluated twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index evaluated exactly once"))
+            .collect()
+    }
+
+    /// Evaluate `f` at every item of `items`, returning results in item
+    /// order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indices(items.len(), |i| f(&items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let pool = SweepPool::new(7);
+        // Uneven per-item cost to force out-of-order completion.
+        let out = pool.map_indices(100, |i| {
+            if i % 13 == 0 {
+                std::thread::yield_now();
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = SweepPool::new(1);
+        let tid = std::thread::current().id();
+        let out = pool.map_indices(5, |i| {
+            assert_eq!(std::thread::current().id(), tid);
+            i + 1
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn every_index_evaluated_exactly_once() {
+        let pool = SweepPool::new(4);
+        let count = AtomicUsize::new(0);
+        let out = pool.map_indices(257, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn map_over_items_borrows_them() {
+        let pool = SweepPool::new(3);
+        let items = vec!["a".to_string(), "bb".into(), "ccc".into()];
+        let lens = pool.map(&items, |s| s.len());
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let pool = SweepPool::new(4);
+        let out: Vec<usize> = pool.map_indices(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_matches_serial_bit_for_bit() {
+        // The engine must not change *what* is computed, only where.
+        let serial: Vec<f64> = (0..64).map(|i| (i as f64).sin() * 1.7).collect();
+        let pooled = SweepPool::new(5).map_indices(64, |i| (i as f64).sin() * 1.7);
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let out = SweepPool::global().map_indices(8, |i| i);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+}

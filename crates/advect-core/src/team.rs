@@ -115,7 +115,9 @@ impl GuidedChunks {
                 return None;
             }
             let remaining = self.end - start;
-            let size = (remaining / self.num_threads).max(self.min_chunk).min(remaining);
+            let size = (remaining / self.num_threads)
+                .max(self.min_chunk)
+                .min(remaining);
             let new_next = start + size;
             if self
                 .next

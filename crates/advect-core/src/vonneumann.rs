@@ -40,7 +40,6 @@ impl Complex {
     pub fn abs(self) -> f64 {
         self.re.hypot(self.im)
     }
-
 }
 
 impl std::ops::Mul for Complex {
@@ -122,9 +121,7 @@ pub fn symbol_matches_stencil(velocity: Velocity, nu: f64, thetas: &[[f64; 3]]) 
             }
         }
         let g = symbol_3d(velocity, nu, theta);
-        worst = worst
-            .max((acc.re - g.re).abs())
-            .max((acc.im - g.im).abs());
+        worst = worst.max((acc.re - g.re).abs()).max((acc.im - g.im).abs());
     }
     worst
 }
@@ -165,7 +162,7 @@ mod tests {
         assert!(is_stable(v, 1.0)); // γx = 1: neutral
         assert!(is_stable(v, 0.5));
         assert!(!is_stable(v, 1.05)); // γx > 1
-        // The stability boundary tracks the largest |c| component.
+                                      // The stability boundary tracks the largest |c| component.
         let v2 = Velocity::new(0.5, 2.0, 0.1);
         assert!(is_stable(v2, 0.5)); // γy = 1
         assert!(!is_stable(v2, 0.55));

@@ -31,7 +31,9 @@ fn bench_each_figure(c: &mut Criterion) {
     for (name, gen) in generators {
         g.bench_function(name, |b| b.iter(|| black_box(gen())));
     }
-    g.bench_function("table2", |b| b.iter(|| black_box(figures::tables::table2_text())));
+    g.bench_function("table2", |b| {
+        b.iter(|| black_box(figures::tables::table2_text()))
+    });
     g.bench_function("report_all_claims", |b| {
         b.iter(|| black_box(figures::report::evaluate_claims()))
     });

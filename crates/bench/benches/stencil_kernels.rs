@@ -5,7 +5,9 @@
 use advect_core::coeffs::{Stencil27, Velocity};
 use advect_core::field::Field3;
 use advect_core::flops::FLOPS_PER_POINT;
-use advect_core::stencil::{apply_stencil_interior, apply_stencil_region};
+use advect_core::stencil::{
+    apply_stencil_interior, apply_stencil_region, apply_stencil_region_scalar,
+};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use simgpu::kernels::{run_stencil, FieldDims, StencilLaunch};
 use std::hint::black_box;
@@ -40,6 +42,26 @@ fn bench_cpu_stencil(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+fn bench_fast_vs_scalar(c: &mut Criterion) {
+    // The headline comparison: row-vectorized fast path vs. the scalar
+    // per-point oracle it is bit-identical to, on the full 128³ interior.
+    let mut g = c.benchmark_group("fast_vs_scalar");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    let n = 128usize;
+    let (src, mut dst, s) = prepared(n);
+    let region = src.interior_range();
+    g.throughput(Throughput::Elements((n as u64).pow(3) * FLOPS_PER_POINT));
+    g.bench_function("fast_128", |b| {
+        b.iter(|| apply_stencil_region(black_box(&src), &mut dst, &s, region))
+    });
+    g.bench_function("scalar_128", |b| {
+        b.iter(|| apply_stencil_region_scalar(black_box(&src), &mut dst, &s, region))
+    });
     g.finish();
 }
 
@@ -96,5 +118,11 @@ fn bench_halo_copy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cpu_stencil, bench_gpu_kernel_blocks, bench_halo_copy);
+criterion_group!(
+    benches,
+    bench_cpu_stencil,
+    bench_fast_vs_scalar,
+    bench_gpu_kernel_blocks,
+    bench_halo_copy
+);
 criterion_main!(benches);

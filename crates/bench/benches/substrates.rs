@@ -108,5 +108,10 @@ fn bench_gpu_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_message_passing, bench_halo_exchange, bench_gpu_dispatch);
+criterion_group!(
+    benches,
+    bench_message_passing,
+    bench_halo_exchange,
+    bench_gpu_dispatch
+);
 criterion_main!(benches);

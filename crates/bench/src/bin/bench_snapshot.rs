@@ -1,0 +1,79 @@
+//! Writes a machine-readable benchmark snapshot (`BENCH_1.json` at the
+//! repository root) so perf changes can be compared across commits:
+//!
+//! * stencil throughput in GF/s (53 flops/point, Table I count) for the
+//!   row-vectorized fast path and its scalar per-point oracle on the
+//!   128³ interior, plus the resulting speedup ratio;
+//! * wall-clock seconds for the `figures --report` claim evaluation.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_snapshot [OUT.json]`
+
+use advect_core::coeffs::{Stencil27, Velocity};
+use advect_core::field::Field3;
+use advect_core::flops::FLOPS_PER_POINT;
+use advect_core::stencil::{apply_stencil_region, apply_stencil_region_scalar};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 128;
+
+/// Median seconds per call over `samples` timed calls (after one warmup).
+fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite time"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("repo root")
+            .join("BENCH_1.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+
+    let s = Stencil27::new(Velocity::new(1.0, 0.5, 0.25), 0.9);
+    let mut src = Field3::new(N, N, N, 1);
+    src.fill_interior(|x, y, z| ((x * 13 + y * 7 + z * 3) % 17) as f64 * 0.1);
+    src.copy_periodic_halo();
+    let mut dst = Field3::new(N, N, N, 1);
+    let region = src.interior_range();
+    let flops = (N as f64).powi(3) * FLOPS_PER_POINT as f64;
+
+    let t_fast = time_median(9, || {
+        apply_stencil_region(black_box(&src), &mut dst, &s, region)
+    });
+    let t_scalar = time_median(9, || {
+        apply_stencil_region_scalar(black_box(&src), &mut dst, &s, region)
+    });
+    let gf_fast = flops / t_fast / 1e9;
+    let gf_scalar = flops / t_scalar / 1e9;
+
+    let t0 = Instant::now();
+    let claims = figures::report::evaluate_claims();
+    let report = figures::report::render_markdown(&claims);
+    black_box(report.len());
+    let t_report = t0.elapsed().as_secs_f64();
+
+    let json = format!(
+        "{{\n  \"grid\": {N},\n  \"flops_per_point\": {FLOPS_PER_POINT},\n  \
+         \"stencil_fast_gf\": {gf_fast:.3},\n  \"stencil_scalar_gf\": {gf_scalar:.3},\n  \
+         \"fast_over_scalar\": {:.3},\n  \"figures_report_seconds\": {t_report:.3},\n  \
+         \"sweep_threads\": {}\n}}\n",
+        gf_fast / gf_scalar,
+        advect_core::sweep::SweepPool::global().threads(),
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

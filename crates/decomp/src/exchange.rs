@@ -160,8 +160,7 @@ mod tests {
         // allocation: every halo point is written exactly once.
         let (nx, ny, nz) = (3usize, 4, 5);
         let plan = ExchangePlan::new((nx, ny, nz), 1);
-        let mut counts =
-            vec![vec![vec![0u8; nz + 2]; ny + 2]; nx + 2];
+        let mut counts = vec![vec![vec![0u8; nz + 2]; ny + 2]; nx + 2];
         for phase in &plan.phases {
             for t in &phase.transfers {
                 for (x, y, z) in t.recv_region.iter() {
@@ -172,8 +171,12 @@ mod tests {
         for x in -1i64..=nx as i64 {
             for y in -1i64..=ny as i64 {
                 for z in -1i64..=nz as i64 {
-                    let interior =
-                        x >= 0 && x < nx as i64 && y >= 0 && y < ny as i64 && z >= 0 && z < nz as i64;
+                    let interior = x >= 0
+                        && x < nx as i64
+                        && y >= 0
+                        && y < ny as i64
+                        && z >= 0
+                        && z < nz as i64;
                     let c = counts[(x + 1) as usize][(y + 1) as usize][(z + 1) as usize];
                     if interior {
                         assert_eq!(c, 0, "interior point ({x},{y},{z}) written by exchange");

@@ -171,6 +171,10 @@ mod tests {
         let (sx, sy, sz) = (420.0 / px as f64, 420.0 / py as f64, 420.0 / pz as f64);
         let max = sx.max(sy).max(sz);
         let min = sx.min(sy).min(sz);
-        assert!(max / min <= 3.0, "aspect {} for ({px},{py},{pz})", max / min);
+        assert!(
+            max / min <= 3.0,
+            "aspect {} for ({px},{py},{pz})",
+            max / min
+        );
     }
 }

@@ -64,7 +64,11 @@ impl Decomposition {
             let (cx, cy, cz) = Self::coords_of(rank, pgrid);
             subdomains.push(Subdomain {
                 offset: (xs[cx], ys[cy], zs[cz]),
-                extent: (xs[cx + 1] - xs[cx], ys[cy + 1] - ys[cy], zs[cz + 1] - zs[cz]),
+                extent: (
+                    xs[cx + 1] - xs[cx],
+                    ys[cy + 1] - ys[cy],
+                    zs[cz + 1] - zs[cz],
+                ),
             });
         }
         Self {
@@ -197,7 +201,7 @@ mod tests {
     #[test]
     fn neighbors_wrap_periodically() {
         let d = Decomposition::new(8, (8, 8, 8)); // 2×2×2
-        // In a 2-wide dimension, both neighbors are the same rank.
+                                                  // In a 2-wide dimension, both neighbors are the same rank.
         let r = 0;
         assert_eq!(d.neighbor(r, 0, -1), d.neighbor(r, 0, 1));
         assert_ne!(d.neighbor(r, 0, 1), r);

@@ -56,7 +56,10 @@ fn main() {
 
     for f in &figs {
         if plot {
-            println!("{}", figures::render_plot(f, figures::PlotOptions::default()));
+            println!(
+                "{}",
+                figures::render_plot(f, figures::PlotOptions::default())
+            );
         } else {
             println!("{}", f.render_text());
         }

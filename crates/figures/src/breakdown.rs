@@ -31,11 +31,15 @@ pub fn ext05_breakdown() -> FigureData {
         });
     };
     push("IV-B compute (µs)", &|s| s.breakdown_bulk_sync().compute);
-    push("IV-B comm (µs)", &|s| s.breakdown_bulk_sync().communication);
+    push("IV-B comm (µs)", &|s| {
+        s.breakdown_bulk_sync().communication
+    });
     push("IV-C unhidden comm (µs)", &|s| {
         s.breakdown_nonblocking().communication
     });
-    push("IV-C overhead (µs)", &|s| s.breakdown_nonblocking().overhead);
+    push("IV-C overhead (µs)", &|s| {
+        s.breakdown_nonblocking().overhead
+    });
     FigureData {
         id: "ext05",
         title: "Extension: step-time breakdown, IV-B vs IV-C on JaguarPF (6 threads/task)".into(),
@@ -109,7 +113,9 @@ mod tests {
         };
         // At low core counts the unhidden comm + overhead of IV-C is far
         // below IV-B's comm bar…
-        assert!(at("IV-C unhidden comm", 192.0) + at("IV-C overhead", 192.0) < at("IV-B comm", 192.0));
+        assert!(
+            at("IV-C unhidden comm", 192.0) + at("IV-C overhead", 192.0) < at("IV-B comm", 192.0)
+        );
         // …at the top, IV-C's overhead alone exceeds what hiding saves.
         let saved = at("IV-B comm", 12288.0) - at("IV-C unhidden comm", 12288.0);
         assert!(at("IV-C overhead", 12288.0) > saved);

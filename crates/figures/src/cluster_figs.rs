@@ -2,6 +2,7 @@
 //! and the CPU-GPU overlap tuning sweeps.
 
 use crate::data::{FigureData, Series};
+use advect_core::sweep::SweepPool;
 use machine::{lens, yona, Machine};
 use perfmodel::gpu::{GpuImpl, GpuScenario};
 use perfmodel::sweep::{best_gf, AnyImpl, THICKNESS_CHOICES};
@@ -23,19 +24,18 @@ fn best_per_impl(
     cores: &[usize],
     block: (usize, usize),
 ) -> FigureData {
-    let series = AnyImpl::ALL
-        .iter()
-        .map(|im| Series {
-            label: im.label().into(),
-            points: cores
-                .iter()
-                .filter_map(|&c| {
-                    let b = best_gf(m, *im, c, block);
-                    (b.gf > 0.0).then_some((c as f64, b.gf))
-                })
-                .collect(),
-        })
-        .collect();
+    // One sweep task per implementation; results come back in
+    // `AnyImpl::ALL` order so the series order is identical to serial.
+    let series = SweepPool::global().map(&AnyImpl::ALL, |im| Series {
+        label: im.label().into(),
+        points: cores
+            .iter()
+            .filter_map(|&c| {
+                let b = best_gf(m, *im, c, block);
+                (b.gf > 0.0).then_some((c as f64, b.gf))
+            })
+            .collect(),
+    });
     let gpus_per = m.cores_per_node();
     FigureData {
         id,
@@ -72,9 +72,11 @@ fn overlap_combos(
     cores: &[usize],
     block: (usize, usize),
 ) -> FigureData {
-    // Find the winning combination per core count.
-    let mut winners: Vec<(usize, usize)> = Vec::new();
-    for &c in cores {
+    // Find the winning combination per core count. Each core count's
+    // (threads × thickness) scan is one sweep task; the scan itself keeps
+    // the serial strict-`>` fold so ties break identically, and the
+    // dedup below runs serially over the pool's core-ordered results.
+    let per_core = SweepPool::global().map(cores, |&c| {
         let mut best = (0.0f64, (0usize, 0usize));
         for &t in m.thread_choices {
             if c % t != 0 {
@@ -90,29 +92,30 @@ fn overlap_combos(
                 }
             }
         }
-        if !winners.contains(&best.1) {
-            winners.push(best.1);
+        best.1
+    });
+    let mut winners: Vec<(usize, usize)> = Vec::new();
+    for combo in per_core {
+        if !winners.contains(&combo) {
+            winners.push(combo);
         }
     }
-    let series = winners
-        .iter()
-        .map(|&(t, th)| Series {
-            label: format!("{t} threads, thickness {th}"),
-            points: cores
-                .iter()
-                .filter(|&&c| c % t == 0)
-                .map(|&c| {
-                    (
-                        c as f64,
-                        GpuScenario::new(m, c, t)
-                            .with_block(block)
-                            .with_thickness(th)
-                            .gf(GpuImpl::HybridOverlap),
-                    )
-                })
-                .collect(),
-        })
-        .collect();
+    let series = SweepPool::global().map(&winners, |&(t, th)| Series {
+        label: format!("{t} threads, thickness {th}"),
+        points: cores
+            .iter()
+            .filter(|&&c| c % t == 0)
+            .map(|&c| {
+                (
+                    c as f64,
+                    GpuScenario::new(m, c, t)
+                        .with_block(block)
+                        .with_thickness(th)
+                        .gf(GpuImpl::HybridOverlap),
+                )
+            })
+            .collect(),
+    });
     FigureData {
         id,
         title: format!(
@@ -184,9 +187,8 @@ mod tests {
     #[test]
     fn fig10_hybrid_overlap_dominates() {
         let f = fig10();
-        let series = |label: &str| -> &Series {
-            f.series.iter().find(|s| s.label == label).unwrap()
-        };
+        let series =
+            |label: &str| -> &Series { f.series.iter().find(|s| s.label == label).unwrap() };
         let hybrid = series("CPU+GPU full overlap");
         for other in [
             "GPU bulk-synchronous MPI",
@@ -196,7 +198,13 @@ mod tests {
         ] {
             let o = series(other);
             for (h, p) in hybrid.points.iter().zip(o.points.iter()).skip(1) {
-                assert!(h.1 > 2.0 * p.1, "{other} at {} cores: {} vs {}", h.0, h.1, p.1);
+                assert!(
+                    h.1 > 2.0 * p.1,
+                    "{other} at {} cores: {} vs {}",
+                    h.0,
+                    h.1,
+                    p.1
+                );
             }
         }
     }
@@ -204,12 +212,12 @@ mod tests {
     #[test]
     fn fig09_gpu_impls_gain_more_from_overlap_than_cpu_impls() {
         let f = fig09();
-        let series = |label: &str| -> &Series {
-            f.series.iter().find(|s| s.label == label).unwrap()
-        };
+        let series =
+            |label: &str| -> &Series { f.series.iter().find(|s| s.label == label).unwrap() };
         let at_end = |s: &Series| s.points.last().unwrap().1;
         // CPU-only overlap gain is small on Lens…
-        let cpu_gain = at_end(series("MPI nonblocking overlap")) / at_end(series("bulk-synchronous MPI"));
+        let cpu_gain =
+            at_end(series("MPI nonblocking overlap")) / at_end(series("bulk-synchronous MPI"));
         assert!(cpu_gain < 1.15, "cpu gain {cpu_gain}");
         // …while the GPU side gains a lot.
         let gpu_gain =
@@ -251,7 +259,14 @@ mod tests {
         let model = &f.series[1].points;
         for (p, m) in paper.iter().zip(model) {
             let rel = (m.1 - p.1).abs() / p.1;
-            assert!(rel < 0.25, "anchor {} off by {:.0}%: {} vs {}", p.0, rel * 100.0, m.1, p.1);
+            assert!(
+                rel < 0.25,
+                "anchor {} off by {:.0}%: {} vs {}",
+                p.0,
+                rel * 100.0,
+                m.1,
+                p.1
+            );
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Figures 3–6: CPU-only performance on JaguarPF and Hopper II.
 
 use crate::data::{FigureData, Series};
+use advect_core::sweep::SweepPool;
 use machine::{hopper_ii, jaguarpf, Machine};
 use perfmodel::cpu::{best_cpu_gf, CpuImpl, CpuScenario};
 
@@ -22,13 +23,22 @@ fn best_per_impl(id: &'static str, m: &Machine, cores: &[usize]) -> FigureData {
         (CpuImpl::Nonblocking, "MPI nonblocking overlap"),
         (CpuImpl::ThreadOverlap, "MPI OpenMP-thread overlap"),
     ];
+    // One sweep task per (implementation, core count); results come back
+    // in submission order so the series are byte-identical to a serial run.
+    let grid: Vec<(CpuImpl, usize)> = impls
+        .iter()
+        .flat_map(|&(im, _)| cores.iter().map(move |&c| (im, c)))
+        .collect();
+    let gfs = SweepPool::global().map(&grid, |&(im, c)| best_cpu_gf(m, im, c).0);
     let series = impls
         .iter()
-        .map(|(im, label)| Series {
+        .enumerate()
+        .map(|(i, (_, label))| Series {
             label: (*label).into(),
             points: cores
                 .iter()
-                .map(|&c| (c as f64, best_cpu_gf(m, *im, c).0))
+                .zip(&gfs[i * cores.len()..(i + 1) * cores.len()])
+                .map(|(&c, &gf)| (c as f64, gf))
                 .collect(),
         })
         .collect();
@@ -102,9 +112,8 @@ mod tests {
     #[test]
     fn fig03_reproduces_crossover() {
         let f = fig03();
-        let find = |label: &str| -> &Series {
-            f.series.iter().find(|s| s.label.contains(label)).unwrap()
-        };
+        let find =
+            |label: &str| -> &Series { f.series.iter().find(|s| s.label.contains(label)).unwrap() };
         let bulk = find("bulk");
         let nb = find("nonblocking");
         let at = |s: &Series, c: f64| s.points.iter().find(|p| p.0 == c).unwrap().1;
@@ -133,7 +142,10 @@ mod tests {
         };
         let c3 = cross(&f3);
         let c4 = cross(&f4);
-        assert!(c4 > 2.0 * c3, "Jaguar crossover {c3}, Hopper crossover {c4}");
+        assert!(
+            c4 > 2.0 * c3,
+            "Jaguar crossover {c3}, Hopper crossover {c4}"
+        );
     }
 
     #[test]

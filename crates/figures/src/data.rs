@@ -1,9 +1,9 @@
 //! Structured figure data with text and JSON rendering.
 
-use serde::Serialize;
+use crate::json;
 
 /// One plotted series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -12,7 +12,7 @@ pub struct Series {
 }
 
 /// One regenerated table or figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureData {
     /// Identifier, e.g. "fig03".
     pub id: &'static str,
@@ -62,9 +62,43 @@ impl FigureData {
         out
     }
 
-    /// Serialize to pretty JSON.
+    /// Serialize to pretty JSON (2-space indent, struct field order).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure data serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json::escape(self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json::escape(&self.title)));
+        out.push_str(&format!("  \"x_label\": {},\n", json::escape(self.x_label)));
+        out.push_str(&format!("  \"y_label\": {},\n", json::escape(self.y_label)));
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"label\": {},\n", json::escape(&s.label)));
+            out.push_str("      \"points\": [\n");
+            for (j, &(x, y)) in s.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "        [\n          {},\n          {}\n        ]{}\n",
+                    json::number(x),
+                    json::number(y),
+                    if j + 1 < s.points.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.series.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"notes\": [\n");
+        for (i, n) in self.notes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                json::escape(n),
+                if i + 1 < self.notes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}");
+        out
     }
 
     /// Render as CSV (x, then one column per series).
@@ -152,9 +186,10 @@ mod tests {
     #[test]
     fn json_round_trips_structure() {
         let j = sample().to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let v = crate::json::Value::parse(&j).unwrap();
         assert_eq!(v["id"], "figXX");
         assert_eq!(v["series"][0]["points"][1][1], 3.0);
+        assert_eq!(v["notes"][0], "hello");
     }
 
     #[test]

@@ -308,11 +308,20 @@ mod tests {
         let pageable = &series(&f, "pageable").points;
         let pinned = &series(&f, "page-locked").points;
         // Pinning helps IV-F and IV-G a lot.
-        assert!(pinned[0].1 > 1.5 * pageable[0].1, "IV-F: {:?}", (pinned[0], pageable[0]));
+        assert!(
+            pinned[0].1 > 1.5 * pageable[0].1,
+            "IV-F: {:?}",
+            (pinned[0], pageable[0])
+        );
         assert!(pinned[1].1 > 1.3 * pageable[1].1);
         // IV-I is unchanged (it already pins).
         assert!((pinned[3].1 - pageable[3].1).abs() < 1e-9);
         // The decoupling gap survives: IV-I still beats pinned IV-G.
-        assert!(pageable[3].1 > 1.15 * pinned[1].1, "{} vs {}", pageable[3].1, pinned[1].1);
+        assert!(
+            pageable[3].1 > 1.15 * pinned[1].1,
+            "{} vs {}",
+            pageable[3].1,
+            pinned[1].1
+        );
     }
 }

@@ -2,14 +2,16 @@
 
 use crate::data::{FigureData, Series};
 use advect_core::flops::PAPER_GRID;
+use advect_core::sweep::SweepPool;
 use simgpu::timing::resident_gigaflops;
 use simgpu::GpuSpec;
 
 /// Block-size sweep for one GPU: one series per x extent, y on the x axis
 /// (matching the paper's presentation).
 fn block_sweep(id: &'static str, spec: &GpuSpec, system: &str) -> FigureData {
-    let mut series = Vec::new();
-    for bx in [16usize, 32, 64, 128] {
+    // One sweep task per x extent; the pool returns the series in the
+    // [16, 32, 64, 128] submission order, matching the serial loop.
+    let series = SweepPool::global().map(&[16usize, 32, 64, 128], |&bx| {
         let mut points = Vec::new();
         for by in 1..=spec.max_threads_per_block / bx {
             let gf = resident_gigaflops(spec, PAPER_GRID, (bx, by));
@@ -17,11 +19,11 @@ fn block_sweep(id: &'static str, spec: &GpuSpec, system: &str) -> FigureData {
                 points.push((by as f64, gf));
             }
         }
-        series.push(Series {
+        Series {
             label: format!("x = {bx}"),
             points,
-        });
-    }
+        }
+    });
     // Record the argmax in the notes (the paper's headline per figure).
     let mut best = ((0usize, 0usize), 0.0f64);
     for s in &series {

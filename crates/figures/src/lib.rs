@@ -19,9 +19,10 @@
 pub mod breakdown;
 pub mod cluster_figs;
 pub mod cpu_figs;
-pub mod extensions;
 pub mod data;
+pub mod extensions;
 pub mod gpu_figs;
+pub mod json;
 pub mod loc;
 pub mod plot;
 pub mod report;
@@ -31,28 +32,35 @@ pub use data::{FigureData, Series};
 pub use plot::{render_plot, PlotOptions};
 
 /// All regenerable figures, in paper order.
+///
+/// The generators are independent, so they are evaluated on the
+/// [`advect_core::sweep::SweepPool`]; results come back in this fixed
+/// order regardless of worker count, so exported CSV/JSON stays
+/// byte-identical to a serial run.
 pub fn all_figures() -> Vec<FigureData> {
-    vec![
-        tables::table1(),
-        loc::fig02(),
-        cpu_figs::fig03(),
-        cpu_figs::fig04(),
-        cpu_figs::fig05(),
-        cpu_figs::fig06(),
-        gpu_figs::fig07(),
-        gpu_figs::fig08(),
-        cluster_figs::fig09(),
-        cluster_figs::fig10(),
-        cluster_figs::fig11(),
-        cluster_figs::fig12(),
-        cluster_figs::anchors(),
-        extensions::ext01_pcie_sweep(),
-        extensions::ext02_cores_per_gpu(),
-        extensions::ext03_pinned_ablation(),
-        extensions::ext04_deep_halo(),
-        breakdown::ext05_breakdown(),
-        breakdown::ext06_weak_scaling(),
-    ]
+    type FigureFn = fn() -> FigureData;
+    const GENERATORS: [FigureFn; 19] = [
+        tables::table1,
+        loc::fig02,
+        cpu_figs::fig03,
+        cpu_figs::fig04,
+        cpu_figs::fig05,
+        cpu_figs::fig06,
+        gpu_figs::fig07,
+        gpu_figs::fig08,
+        cluster_figs::fig09,
+        cluster_figs::fig10,
+        cluster_figs::fig11,
+        cluster_figs::fig12,
+        cluster_figs::anchors,
+        extensions::ext01_pcie_sweep,
+        extensions::ext02_cores_per_gpu,
+        extensions::ext03_pinned_ablation,
+        extensions::ext04_deep_halo,
+        breakdown::ext05_breakdown,
+        breakdown::ext06_weak_scaling,
+    ];
+    advect_core::sweep::SweepPool::global().map(&GENERATORS, |g| g())
 }
 
 /// Look up a figure by id (e.g. "fig03").
@@ -89,7 +97,7 @@ mod tests {
         for f in all_figures() {
             assert!(!f.render_text().is_empty());
             assert!(!f.render_csv().is_empty());
-            assert!(serde_json::from_str::<serde_json::Value>(&f.to_json()).is_ok());
+            assert!(json::Value::parse(&f.to_json()).is_ok());
         }
     }
 }

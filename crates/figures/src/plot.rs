@@ -178,11 +178,18 @@ mod tests {
         let rows: Vec<(usize, usize)> = p
             .lines()
             .enumerate()
-            .flat_map(|(r, l)| l.char_indices().filter(move |(_, ch)| *ch == 'o').map(move |(c, _)| (r, c)))
+            .flat_map(|(r, l)| {
+                l.char_indices()
+                    .filter(move |(_, ch)| *ch == 'o')
+                    .map(move |(c, _)| (r, c))
+            })
             .collect();
         let leftmost = rows.iter().min_by_key(|(_, c)| *c).unwrap();
         let rightmost = rows.iter().max_by_key(|(_, c)| *c).unwrap();
-        assert!(leftmost.0 > rightmost.0, "left {leftmost:?} right {rightmost:?}");
+        assert!(
+            leftmost.0 > rightmost.0,
+            "left {leftmost:?} right {rightmost:?}"
+        );
     }
 
     #[test]

@@ -51,9 +51,15 @@ pub fn evaluate_claims() -> Vec<Claim> {
     let h = hopper_ii();
 
     // --- Section V-E anchors.
-    let resident = GpuScenario::new(&y, 12, 12).with_block((32, 8)).gf(GpuImpl::Resident);
-    let f = GpuScenario::new(&y, 12, 12).with_block((32, 8)).gf(GpuImpl::BulkSync);
-    let g = GpuScenario::new(&y, 12, 12).with_block((32, 8)).gf(GpuImpl::Streams);
+    let resident = GpuScenario::new(&y, 12, 12)
+        .with_block((32, 8))
+        .gf(GpuImpl::Resident);
+    let f = GpuScenario::new(&y, 12, 12)
+        .with_block((32, 8))
+        .gf(GpuImpl::BulkSync);
+    let g = GpuScenario::new(&y, 12, 12)
+        .with_block((32, 8))
+        .gf(GpuImpl::Streams);
     let i = GpuScenario::new(&y, 12, 6)
         .with_block((32, 8))
         .with_thickness(3)
@@ -283,7 +289,11 @@ mod tests {
         let claims = evaluate_claims();
         assert!(claims.len() >= 15, "only {} claims evaluated", claims.len());
         for c in &claims {
-            assert!(c.holds, "claim {} failed: paper '{}', measured '{}'", c.id, c.paper, c.measured);
+            assert!(
+                c.holds,
+                "claim {} failed: paper '{}', measured '{}'",
+                c.id, c.paper, c.measured
+            );
         }
     }
 

@@ -63,10 +63,18 @@ pub fn table2_text() -> String {
     };
     out.push_str(&row("System", &|m| m.name.to_string()));
     out.push_str(&row("Compute nodes", &|m| m.nodes.to_string()));
-    out.push_str(&row("Memory per node (GB)", &|m| m.mem_per_node_gb.to_string()));
-    out.push_str(&row("Opteron sockets per node", &|m| m.cpu.sockets.to_string()));
-    out.push_str(&row("Cores per socket", &|m| m.cpu.cores_per_socket.to_string()));
-    out.push_str(&row("Opteron clock (GHz)", &|m| format!("{}", m.cpu.clock_ghz)));
+    out.push_str(&row("Memory per node (GB)", &|m| {
+        m.mem_per_node_gb.to_string()
+    }));
+    out.push_str(&row("Opteron sockets per node", &|m| {
+        m.cpu.sockets.to_string()
+    }));
+    out.push_str(&row("Cores per socket", &|m| {
+        m.cpu.cores_per_socket.to_string()
+    }));
+    out.push_str(&row("Opteron clock (GHz)", &|m| {
+        format!("{}", m.cpu.clock_ghz)
+    }));
     out.push_str(&row("Interconnect", &|m| m.net.name.to_string()));
     out.push_str(&row("MPI", &|m| m.mpi.to_string()));
     out.push_str(&row("NVIDIA Tesla GPU", &|m| {

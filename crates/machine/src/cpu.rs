@@ -82,9 +82,9 @@ impl CpuModel {
     /// to each term.
     pub fn stencil_points_per_second(&self, threads: usize, tasks_per_node: usize) -> f64 {
         assert!(threads >= 1 && tasks_per_node >= 1);
-        let compute = self.peak_gf(threads) * 1e9 * self.stencil_compute_eff
-            * self.numa_compute_eff(threads)
-            / FLOPS_PER_POINT as f64;
+        let compute =
+            self.peak_gf(threads) * 1e9 * self.stencil_compute_eff * self.numa_compute_eff(threads)
+                / FLOPS_PER_POINT as f64;
         let bw_share = self.mem_bw_gbs * 1e9 / tasks_per_node as f64 * self.numa_bw_eff(threads);
         let bw = bw_share / CPU_BYTES_PER_POINT;
         compute.min(bw)

@@ -32,9 +32,7 @@ impl InterconnectModel {
     /// latency plus both transfers' bandwidth.
     pub fn phase_time(&self, bytes_each_dir: usize, contending_tasks: usize) -> f64 {
         let share = self.node_bw_gbs * 1e9 / contending_tasks.max(1) as f64;
-        self.latency_s
-            + 2.0 * self.per_message_cpu_s
-            + 2.0 * bytes_each_dir as f64 / share
+        self.latency_s + 2.0 * self.per_message_cpu_s + 2.0 * bytes_each_dir as f64 / share
     }
 
     /// The part of `total_comm` that nonblocking communication can hide

@@ -57,7 +57,11 @@ impl BulkSyncMpi {
                 }
             }
             comm.barrier();
-            (assemble_global(cfg, decomp_ref, comm, &cur), comm.stats(), None)
+            (
+                assemble_global(cfg, decomp_ref, comm, &cur),
+                comm.stats(),
+                None,
+            )
         });
         crate::runner::collect_report(results)
     }

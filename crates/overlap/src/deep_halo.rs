@@ -99,7 +99,11 @@ impl DeepHaloBulkSync {
                 remaining -= burst;
             }
             comm.barrier();
-            (assemble_global(cfg, decomp_ref, comm, &cur), comm.stats(), None)
+            (
+                assemble_global(cfg, decomp_ref, comm, &cur),
+                comm.stats(),
+                None,
+            )
         });
         crate::runner::collect_report(results)
     }

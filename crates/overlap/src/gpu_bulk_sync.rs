@@ -45,7 +45,13 @@ impl GpuBulkSyncMpi {
             comm.barrier();
             for _ in 0..cfg.steps {
                 // CPU copies boundary buffers from the GPU...
-                dev.regions_d2h(&gpu, Stream::DEFAULT, dev.cur, &part.gpu_boundary_ring, &mut host);
+                dev.regions_d2h(
+                    &gpu,
+                    Stream::DEFAULT,
+                    dev.cur,
+                    &part.gpu_boundary_ring,
+                    &mut host,
+                );
                 gpu.sync_device();
                 // ...communicates the boundaries...
                 exchange_halos(&mut host, &plan, decomp_ref, rank, comm);

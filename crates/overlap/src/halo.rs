@@ -143,7 +143,11 @@ mod tests {
 
             for (rank, local) in results {
                 let sub = decomp.subdomains[rank];
-                let (ox, oy, oz) = (sub.offset.0 as i64, sub.offset.1 as i64, sub.offset.2 as i64);
+                let (ox, oy, oz) = (
+                    sub.offset.0 as i64,
+                    sub.offset.1 as i64,
+                    sub.offset.2 as i64,
+                );
                 for (x, y, z) in local.full_range().iter() {
                     // Map to global coordinates with periodic wrap.
                     let gx = (ox + x).rem_euclid(n as i64);

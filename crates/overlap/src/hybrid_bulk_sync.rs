@@ -47,7 +47,13 @@ impl HybridBulkSync {
             comm.barrier();
             for _ in 0..cfg.steps {
                 // Inner exchange: GPU boundary ring to the CPU...
-                dev.regions_d2h(&gpu, Stream::DEFAULT, dev.cur, &part.gpu_boundary_ring, &mut cur);
+                dev.regions_d2h(
+                    &gpu,
+                    Stream::DEFAULT,
+                    dev.cur,
+                    &part.gpu_boundary_ring,
+                    &mut cur,
+                );
                 gpu.sync_device();
                 // ...outer exchange: MPI halos...
                 exchange_halos(&mut cur, &plan, decomp_ref, rank, comm);

@@ -166,7 +166,12 @@ mod tests {
         let expect = reference(cfg.problem, cfg.steps);
         let got = im.run(cfg, spec);
         let diff = got.max_abs_diff(&expect);
-        assert_eq!(diff, 0.0, "{} ({what}) diverges from serial by {diff}", im.name());
+        assert_eq!(
+            diff,
+            0.0,
+            "{} ({what}) diverges from serial by {diff}",
+            im.name()
+        );
     }
 
     #[test]

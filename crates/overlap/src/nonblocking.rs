@@ -77,7 +77,11 @@ impl NonblockingMpi {
                 }
             }
             comm.barrier();
-            (assemble_global(cfg, decomp_ref, comm, &cur), comm.stats(), None)
+            (
+                assemble_global(cfg, decomp_ref, comm, &cur),
+                comm.stats(),
+                None,
+            )
         });
         crate::runner::collect_report(results)
     }

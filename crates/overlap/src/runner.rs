@@ -128,10 +128,7 @@ pub(crate) fn collect_report(
             report.gpu.push(d);
         }
     }
-    (
-        global.expect("rank 0 assembles the global state"),
-        report,
-    )
+    (global.expect("rank 0 assembles the global state"), report)
 }
 
 /// A rank's local field, allocated and filled from the global initial

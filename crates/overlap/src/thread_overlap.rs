@@ -90,7 +90,11 @@ impl ThreadOverlapMpi {
                 }
             }
             comm.barrier();
-            (assemble_global(cfg, decomp_ref, comm, &cur), comm.stats(), None)
+            (
+                assemble_global(cfg, decomp_ref, comm, &cur),
+                comm.stats(),
+                None,
+            )
         });
         crate::runner::collect_report(results)
     }

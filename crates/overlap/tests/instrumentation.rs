@@ -57,7 +57,10 @@ fn deep_halo_trades_messages_for_volume() {
     // is exactly why deep halos only pay in the latency-dominated regime).
     let per_msg_w1 = w1.total_values_sent() as f64 / w1.total_messages() as f64;
     let per_msg_w3 = w3.total_values_sent() as f64 / w3.total_messages() as f64;
-    assert!(per_msg_w3 > 3.0 * per_msg_w1, "{per_msg_w3} vs {per_msg_w1}");
+    assert!(
+        per_msg_w3 > 3.0 * per_msg_w1,
+        "{per_msg_w3} vs {per_msg_w1}"
+    );
 }
 
 #[test]

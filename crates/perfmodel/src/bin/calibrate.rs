@@ -13,7 +13,10 @@ fn main() {
         let b = best_cpu_gf(&j, CpuImpl::BulkSync, cores);
         let c = best_cpu_gf(&j, CpuImpl::Nonblocking, cores);
         let d = best_cpu_gf(&j, CpuImpl::ThreadOverlap, cores);
-        println!("{:>6}  {:7.1} {:8.1}({:>2}) {:8.1}({:>2}) {:8.1}({:>2})", cores, a.0, b.0, b.1, c.0, c.1, d.0, d.1);
+        println!(
+            "{:>6}  {:7.1} {:8.1}({:>2}) {:8.1}({:>2}) {:8.1}({:>2})",
+            cores, a.0, b.0, b.1, c.0, c.1, d.0, d.1
+        );
     }
     let h = hopper_ii();
     println!("== Hopper II ==");
@@ -22,7 +25,10 @@ fn main() {
         let b = best_cpu_gf(&h, CpuImpl::BulkSync, cores);
         let c = best_cpu_gf(&h, CpuImpl::Nonblocking, cores);
         let d = best_cpu_gf(&h, CpuImpl::ThreadOverlap, cores);
-        println!("{:>6}  {:8.1}({:>2}) {:8.1}({:>2}) {:8.1}({:>2})", cores, b.0, b.1, c.0, c.1, d.0, d.1);
+        println!(
+            "{:>6}  {:8.1}({:>2}) {:8.1}({:>2}) {:8.1}({:>2})",
+            cores, b.0, b.1, c.0, c.1, d.0, d.1
+        );
     }
     println!("== JaguarPF bulk-sync by threads (fig 5) ==");
     for exp in 0..11 {
@@ -32,7 +38,9 @@ fn main() {
             if cores % t == 0 {
                 let s = CpuScenario::new(&j, cores, t);
                 print!(" {:8.1}", s.gf(CpuImpl::BulkSync));
-            } else { print!("       ."); }
+            } else {
+                print!("       .");
+            }
         }
         println!();
     }
@@ -40,12 +48,18 @@ fn main() {
     let y = yona();
     for nodes in [1usize, 2, 4, 8, 16] {
         let b = best_gpu_gf(&y, GpuImpl::HybridOverlap, nodes * 12, (32, 8));
-        println!("nodes {:>2}: {:6.1} GF  threads {} thickness {}", nodes, b.gf, b.threads, b.thickness);
+        println!(
+            "nodes {:>2}: {:6.1} GF  threads {} thickness {}",
+            nodes, b.gf, b.threads, b.thickness
+        );
     }
     println!("== Lens hybrid overlap ==");
     let l = lens();
     for nodes in [1usize, 2, 4, 8, 16, 31] {
         let b = best_gpu_gf(&l, GpuImpl::HybridOverlap, nodes * 16, (32, 11));
-        println!("nodes {:>2}: {:6.1} GF  threads {} thickness {}", nodes, b.gf, b.threads, b.thickness);
+        println!(
+            "nodes {:>2}: {:6.1} GF  threads {} thickness {}",
+            nodes, b.gf, b.threads, b.thickness
+        );
     }
 }

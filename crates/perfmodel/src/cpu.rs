@@ -197,7 +197,8 @@ impl<'a> CpuScenario<'a> {
         let mut unhidden = 0.0;
         for d in 0..3 {
             let net = self.phase_net(d);
-            unhidden += self.phase_cpu() + (1.0 - alpha) * net + (alpha * net - t_int / 3.0).max(0.0);
+            unhidden +=
+                self.phase_cpu() + (1.0 - alpha) * net + (alpha * net - t_int / 3.0).max(0.0);
         }
         StepBreakdown {
             compute: t_int + pb / self.rate(),
@@ -320,13 +321,18 @@ impl<'a> CpuScenario<'a> {
 /// Best GF over the machine's thread-per-task choices at a core count.
 /// Returns `(gf, best_threads)`.
 pub fn best_cpu_gf(machine: &Machine, im: CpuImpl, cores: usize) -> (f64, usize) {
+    // Evaluated on the sweep pool; the serial strict-`>` fold over results
+    // in candidate order keeps the winner identical to a serial scan.
+    let candidates: Vec<usize> = machine
+        .thread_choices
+        .iter()
+        .copied()
+        .filter(|&t| cores.is_multiple_of(t))
+        .collect();
+    let gfs = advect_core::sweep::SweepPool::global()
+        .map(&candidates, |&t| CpuScenario::new(machine, cores, t).gf(im));
     let mut best = (0.0f64, 1usize);
-    for &t in machine.thread_choices {
-        if !cores.is_multiple_of(t) {
-            continue;
-        }
-        let s = CpuScenario::new(machine, cores, t);
-        let gf = s.gf(im);
+    for (&t, &gf) in candidates.iter().zip(&gfs) {
         if gf > best.0 {
             best = (gf, t);
         }
@@ -397,7 +403,11 @@ mod tests {
                     .0
                     .max(best_cpu_gf(&m, CpuImpl::Nonblocking, cores).0);
                 let d = best_cpu_gf(&m, CpuImpl::ThreadOverlap, cores).0;
-                assert!(d < best_other, "{} cores {cores}: D {d} vs {best_other}", m.name);
+                assert!(
+                    d < best_other,
+                    "{} cores {cores}: D {d} vs {best_other}",
+                    m.name
+                );
             }
         }
     }
@@ -425,7 +435,11 @@ mod tests {
             for cores in [192usize, 6144, 12288] {
                 let deep = best_deep(&m, cores);
                 let bulk = best_cpu_gf(&m, CpuImpl::BulkSync, cores).0;
-                assert!(deep < bulk, "{} at {cores}: deep {deep} vs bulk {bulk}", m.name);
+                assert!(
+                    deep < bulk,
+                    "{} at {cores}: deep {deep} vs bulk {bulk}",
+                    m.name
+                );
             }
         }
     }
@@ -444,7 +458,10 @@ mod tests {
         // And still loses at low core counts even there (big subdomains).
         let deep_low = best_deep(&m, 96);
         let bulk_low = best_cpu_gf(&m, CpuImpl::BulkSync, 96).0;
-        assert!(deep_low < bulk_low * 1.02, "deep {deep_low} vs bulk {bulk_low}");
+        assert!(
+            deep_low < bulk_low * 1.02,
+            "deep {deep_low} vs bulk {bulk_low}"
+        );
     }
 
     #[test]

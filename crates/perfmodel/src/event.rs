@@ -111,7 +111,11 @@ impl Schedule {
 
     /// Total busy time of a resource (for utilization reports).
     pub fn busy(&self, res: Res) -> f64 {
-        self.ops.iter().filter(|o| o.res == res).map(|o| o.dur).sum()
+        self.ops
+            .iter()
+            .filter(|o| o.res == res)
+            .map(|o| o.dur)
+            .sum()
     }
 
     /// Number of operations.

@@ -286,9 +286,17 @@ impl<'a> GpuScenario<'a> {
             let stage1 = s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
             let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[stage1]);
             let stage2 = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
-            let h2d = s.add(Res::CopyH2D, self.pcie_dur(geo.halo_ring_pts, false), &[stage2]);
+            let h2d = s.add(
+                Res::CopyH2D,
+                self.pcie_dur(geo.halo_ring_pts, false),
+                &[stage2],
+            );
             let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
-            let faces = s.add(Res::GpuCompute, self.face_kernels_dur(&geo, false), &[unpack]);
+            let faces = s.add(
+                Res::GpuCompute,
+                self.face_kernels_dur(&geo, false),
+                &[unpack],
+            );
             s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[faces]);
         }
         s.makespan() + params::GPU_STEP_FIXED_S
@@ -313,11 +321,23 @@ impl<'a> GpuScenario<'a> {
             // MPI first: it uses last step's boundary buffers.
             let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[]);
             let stage = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
-            let h2d = s.add(Res::CopyH2D, self.pcie_dur(geo.halo_ring_pts, false), &[stage]);
+            let h2d = s.add(
+                Res::CopyH2D,
+                self.pcie_dur(geo.halo_ring_pts, false),
+                &[stage],
+            );
             let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
-            let faces = s.add(Res::GpuCompute, self.face_kernels_dur(&geo, false), &[unpack]);
+            let faces = s.add(
+                Res::GpuCompute,
+                self.face_kernels_dur(&geo, false),
+                &[unpack],
+            );
             // Outgoing boundary for the next step: pack + D2H at the end.
-            let pack = s.add(Res::GpuCompute, self.pack_dur(geo.ring_pts), &[faces, interior]);
+            let pack = s.add(
+                Res::GpuCompute,
+                self.pack_dur(geo.ring_pts),
+                &[faces, interior],
+            );
             let d2h = s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, false), &[pack]);
             s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
         }
@@ -335,11 +355,19 @@ impl<'a> GpuScenario<'a> {
             let stage1 = s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
             let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[stage1]);
             let stage2 = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
-            let h2d = s.add(Res::CopyH2D, self.pcie_dur(geo.halo_ring_pts, false), &[stage2]);
+            let h2d = s.add(
+                Res::CopyH2D,
+                self.pcie_dur(geo.halo_ring_pts, false),
+                &[stage2],
+            );
             let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
             // GPU kernels and CPU walls proceed in parallel after the
             // exchange.
-            let faces = s.add(Res::GpuCompute, self.face_kernels_dur(&geo, false), &[unpack]);
+            let faces = s.add(
+                Res::GpuCompute,
+                self.face_kernels_dur(&geo, false),
+                &[unpack],
+            );
             s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[faces]);
             if geo.wall_pts > 0.0 {
                 s.add(Res::None, geo.wall_pts / self.cpu_wall_rate(), &[mpi]);
@@ -365,7 +393,11 @@ impl<'a> GpuScenario<'a> {
                 // interior kernel (at a throughput penalty).
                 s.add(Res::None, self.face_kernels_dur(&geo, true), &[h2d])
             } else {
-                s.add(Res::GpuCompute, self.face_kernels_dur(&geo, false), &[h2d, interior])
+                s.add(
+                    Res::GpuCompute,
+                    self.face_kernels_dur(&geo, false),
+                    &[h2d, interior],
+                )
             };
             s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, true), &[faces]);
             // CPU side: each dimension's phase overlaps that dimension's
@@ -432,7 +464,9 @@ mod tests {
     #[test]
     fn yona_resident_anchor_86() {
         let m = yona();
-        let gf = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::Resident);
+        let gf = GpuScenario::new(&m, 12, 12)
+            .with_block((32, 8))
+            .gf(GpuImpl::Resident);
         assert!((gf - 86.0).abs() < 6.0, "resident {gf} GF");
     }
 
@@ -440,7 +474,9 @@ mod tests {
     fn yona_bulk_sync_anchor_24() {
         // Section V-E: one node, implementation IV-F: 24 GF.
         let m = yona();
-        let gf = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::BulkSync);
+        let gf = GpuScenario::new(&m, 12, 12)
+            .with_block((32, 8))
+            .gf(GpuImpl::BulkSync);
         assert!((gf - 24.0).abs() < 5.0, "IV-F one node {gf} GF (paper: 24)");
     }
 
@@ -448,7 +484,9 @@ mod tests {
     fn yona_streams_anchor_35() {
         // Section V-E: one node, implementation IV-G: 35 GF.
         let m = yona();
-        let gf = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::Streams);
+        let gf = GpuScenario::new(&m, 12, 12)
+            .with_block((32, 8))
+            .gf(GpuImpl::Streams);
         assert!((gf - 35.0).abs() < 7.0, "IV-G one node {gf} GF (paper: 35)");
     }
 
@@ -463,20 +501,27 @@ mod tests {
     fn hybrid_overlap_under_resident() {
         // IV-I "nearly matches" but does not exceed the resident kernel.
         let m = yona();
-        let resident = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::Resident);
-        let best_i = (1..=4)
-            .map(|t| yona_scenario(6, t))
-            .fold(0.0f64, f64::max);
+        let resident = GpuScenario::new(&m, 12, 12)
+            .with_block((32, 8))
+            .gf(GpuImpl::Resident);
+        let best_i = (1..=4).map(|t| yona_scenario(6, t)).fold(0.0f64, f64::max);
         assert!(best_i < resident, "IV-I {best_i} vs resident {resident}");
-        assert!(best_i > 0.85 * resident, "IV-I {best_i} not near resident {resident}");
+        assert!(
+            best_i > 0.85 * resident,
+            "IV-I {best_i} not near resident {resident}"
+        );
     }
 
     #[test]
     fn overlap_ordering_f_g_i() {
         // 24 < 35 < 82: each overlap level pays off.
         let m = yona();
-        let f = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::BulkSync);
-        let g = GpuScenario::new(&m, 12, 12).with_block((32, 8)).gf(GpuImpl::Streams);
+        let f = GpuScenario::new(&m, 12, 12)
+            .with_block((32, 8))
+            .gf(GpuImpl::BulkSync);
+        let g = GpuScenario::new(&m, 12, 12)
+            .with_block((32, 8))
+            .gf(GpuImpl::Streams);
         let i = yona_scenario(6, 3);
         assert!(f < g && g < i, "ordering broken: F {f}, G {g}, I {i}");
     }

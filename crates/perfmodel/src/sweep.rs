@@ -7,6 +7,7 @@
 
 use crate::cpu::CpuImpl;
 use crate::gpu::{GpuImpl, GpuScenario};
+use advect_core::sweep::SweepPool;
 use machine::Machine;
 
 /// Box thicknesses the sweeps consider (Figures 11/12 plot a subset).
@@ -64,7 +65,12 @@ impl AnyImpl {
 
 /// Best GF of a GPU implementation at a core count, over threads per task
 /// (and thickness for the hybrids), at the machine's best block shape.
-pub fn best_gpu_gf(machine: &Machine, im: GpuImpl, cores: usize, block: (usize, usize)) -> BestPoint {
+pub fn best_gpu_gf(
+    machine: &Machine,
+    im: GpuImpl,
+    cores: usize,
+    block: (usize, usize),
+) -> BestPoint {
     let mut best = BestPoint {
         gf: 0.0,
         threads: 0,
@@ -82,26 +88,33 @@ pub fn best_gpu_gf(machine: &Machine, im: GpuImpl, cores: usize, block: (usize, 
         }
         return best;
     }
-    for &t in machine.thread_choices {
-        if !cores.is_multiple_of(t) {
-            continue;
-        }
-        let thicknesses: &[usize] = match im {
-            GpuImpl::HybridBulkSync | GpuImpl::HybridOverlap => &THICKNESS_CHOICES,
-            _ => &[0],
-        };
-        for &th in thicknesses {
-            let s = GpuScenario::new(machine, cores, t)
-                .with_block(block)
-                .with_thickness(th);
-            let gf = s.gf(im);
-            if gf > best.gf {
-                best = BestPoint {
-                    gf,
-                    threads: t,
-                    thickness: th,
-                };
-            }
+    // Enumerate the candidate grid, evaluate it on the sweep pool, then
+    // reduce serially in candidate order — the strict `>` fold keeps the
+    // argmax identical to the original nested-loop scan (first winner on
+    // ties), so results are deterministic under any worker count.
+    let thicknesses: &[usize] = match im {
+        GpuImpl::HybridBulkSync | GpuImpl::HybridOverlap => &THICKNESS_CHOICES,
+        _ => &[0],
+    };
+    let candidates: Vec<(usize, usize)> = machine
+        .thread_choices
+        .iter()
+        .filter(|&&t| cores.is_multiple_of(t))
+        .flat_map(|&t| thicknesses.iter().map(move |&th| (t, th)))
+        .collect();
+    let gfs = SweepPool::global().map(&candidates, |&(t, th)| {
+        GpuScenario::new(machine, cores, t)
+            .with_block(block)
+            .with_thickness(th)
+            .gf(im)
+    });
+    for (&(t, th), &gf) in candidates.iter().zip(&gfs) {
+        if gf > best.gf {
+            best = BestPoint {
+                gf,
+                threads: t,
+                thickness: th,
+            };
         }
     }
     best

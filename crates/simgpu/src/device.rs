@@ -1,8 +1,8 @@
 //! The simulated device: buffers, streams, events, hazards, timeline.
 
 use crate::kernels::{self, FieldDims, StencilLaunch};
-use crate::timeline::{EngineKind as TlEngine, Timeline, TimelineEntry};
 use crate::spec::GpuSpec;
+use crate::timeline::{EngineKind as TlEngine, Timeline, TimelineEntry};
 use crate::timing;
 use advect_core::field::Range3;
 use parking_lot::Mutex;
@@ -283,7 +283,9 @@ impl Gpu {
             self.spec.name
         );
         let mut g = self.inner.lock();
-        let coeffs = g.constant.expect("constant memory not loaded: call set_constant");
+        let coeffs = g
+            .constant
+            .expect("constant memory not loaded: call set_constant");
         self.check_read(&g, stream.0, src, "stencil");
         let dur = timing::stencil_kernel_time(&self.spec, &p);
         self.schedule(&mut g, stream.0, EngineKind::Compute, dur, "stencil");
@@ -313,7 +315,12 @@ impl Gpu {
         self.note_write(&mut g, stream.0, out);
         g.stats.pack_launches += 1;
         let (fdata, odata) = Self::two_buffers(&mut g.buffers, field.0, out.0);
-        kernels::run_pack(fdata, dims, region, &mut odata[out_off..out_off + region.len()]);
+        kernels::run_pack(
+            fdata,
+            dims,
+            region,
+            &mut odata[out_off..out_off + region.len()],
+        );
     }
 
     /// Launch an unpack kernel: scatter the linear buffer `input` at

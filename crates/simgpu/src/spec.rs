@@ -119,7 +119,10 @@ mod tests {
         let c2050 = GpuSpec::tesla_c2050();
         assert_eq!(c2050.mem_gib, 3.0);
         assert_eq!(c2050.max_threads_per_block, 1024);
-        assert!(c2050.pcie_bw_gbs > c1060.pcie_bw_gbs, "Yona has the faster bus");
+        assert!(
+            c2050.pcie_bw_gbs > c1060.pcie_bw_gbs,
+            "Yona has the faster bus"
+        );
     }
 
     #[test]

@@ -278,8 +278,14 @@ mod tests {
         // Fig. 7: "top performance coming from a block size of 32×11".
         let spec = GpuSpec::tesla_c1060();
         let ((bx, by), gf) = best_block(&spec, 420);
-        assert_eq!(bx, 32, "best x extent should be the warp size, got {bx}×{by}");
-        assert_eq!(by, 11, "best block should be 32×11, got {bx}×{by} at {gf} GF");
+        assert_eq!(
+            bx, 32,
+            "best x extent should be the warp size, got {bx}×{by}"
+        );
+        assert_eq!(
+            by, 11,
+            "best block should be 32×11, got {bx}×{by} at {gf} GF"
+        );
     }
 
     #[test]

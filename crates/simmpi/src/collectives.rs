@@ -95,7 +95,11 @@ impl ReduceSlots {
         s.slots[rank] = Some(data);
         let filled = s.slots.iter().filter(|v| v.is_some()).count();
         if filled == self.n {
-            let gathered: Vec<Vec<f64>> = s.slots.iter_mut().map(|v| v.take().expect("filled")).collect();
+            let gathered: Vec<Vec<f64>> = s
+                .slots
+                .iter_mut()
+                .map(|v| v.take().expect("filled"))
+                .collect();
             s.result = Some(gathered);
             s.readers_left = self.n;
             s.round += 1;

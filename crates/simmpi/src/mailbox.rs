@@ -44,7 +44,10 @@ impl Mailbox {
 
     /// Non-blocking probe: whether a matching message has arrived.
     pub fn has_matching(&self, src: usize, tag: u64) -> bool {
-        self.queue.lock().iter().any(|m| m.src == src && m.tag == tag)
+        self.queue
+            .lock()
+            .iter()
+            .any(|m| m.src == src && m.tag == tag)
     }
 
     /// Number of messages currently queued (for diagnostics).

@@ -63,11 +63,14 @@ pub struct TuningResult {
 }
 
 /// The tuning objective: modeled GF of `im` on `machine` at `cores`.
+///
+/// The evaluation counter is atomic so searches can fan evaluations out
+/// over the [`advect_core::sweep::SweepPool`].
 pub struct Objective<'a> {
     machine: &'a Machine,
     im: GpuImpl,
     cores: usize,
-    evaluations: std::cell::Cell<usize>,
+    evaluations: std::sync::atomic::AtomicUsize,
 }
 
 impl<'a> Objective<'a> {
@@ -77,14 +80,15 @@ impl<'a> Objective<'a> {
             machine,
             im,
             cores,
-            evaluations: std::cell::Cell::new(0),
+            evaluations: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
     /// Evaluate one configuration (counts toward the budget). Returns 0
     /// for configurations the hardware rejects (oversized blocks).
     pub fn eval(&self, c: Config) -> f64 {
-        self.evaluations.set(self.evaluations.get() + 1);
+        self.evaluations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let spec = self.machine.gpu.as_ref().expect("GPU machine");
         if c.block.0 * c.block.1 > spec.max_threads_per_block {
             return 0.0;
@@ -100,12 +104,36 @@ impl<'a> Objective<'a> {
 
     /// Evaluations spent so far.
     pub fn spent(&self) -> usize {
-        self.evaluations.get()
+        self.evaluations.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
-/// Exhaustive search: the ground-truth optimum.
+/// Evaluate a batch of candidate configurations on the global sweep pool,
+/// returning GF values in candidate order. The serial reductions below
+/// fold these ordered results with strict `>` comparisons, so the search
+/// trajectory (and the evaluation count) is identical to a fully serial
+/// run under any worker count.
+fn eval_batch(obj: &Objective<'_>, candidates: &[Config]) -> Vec<f64> {
+    advect_core::sweep::SweepPool::global().map(candidates, |&c| obj.eval(c))
+}
+
+/// Exhaustive search: the ground-truth optimum. The whole configuration
+/// grid is evaluated on the sweep pool in one batch.
 pub fn exhaustive(obj: &Objective<'_>, space: &SearchSpace) -> TuningResult {
+    let mut candidates =
+        Vec::with_capacity(space.threads.len() * space.thicknesses.len() * space.blocks.len());
+    for &threads in &space.threads {
+        for &thickness in &space.thicknesses {
+            for &block in &space.blocks {
+                candidates.push(Config {
+                    threads,
+                    thickness,
+                    block,
+                });
+            }
+        }
+    }
+    let gfs = eval_batch(obj, &candidates);
     let mut best = (
         Config {
             threads: space.threads[0],
@@ -114,19 +142,9 @@ pub fn exhaustive(obj: &Objective<'_>, space: &SearchSpace) -> TuningResult {
         },
         0.0f64,
     );
-    for &threads in &space.threads {
-        for &thickness in &space.thicknesses {
-            for &block in &space.blocks {
-                let c = Config {
-                    threads,
-                    thickness,
-                    block,
-                };
-                let gf = obj.eval(c);
-                if gf > best.1 {
-                    best = (c, gf);
-                }
-            }
+    for (&c, &gf) in candidates.iter().zip(&gfs) {
+        if gf > best.1 {
+            best = (c, gf);
         }
     }
     TuningResult {
@@ -139,44 +157,54 @@ pub fn exhaustive(obj: &Objective<'_>, space: &SearchSpace) -> TuningResult {
 /// Coordinate descent: starting from `start`, repeatedly sweep one
 /// parameter at a time (threads → thickness → block), keeping the best
 /// value of each sweep, until a full round improves nothing.
+///
+/// Each one-parameter sweep is evaluated as one parallel batch: within a
+/// sweep the candidates differ from `cur` only in the swept field, and
+/// adopting a candidate changes only that same field, so the candidate
+/// set is exactly what the serial loop would have evaluated. The ordered
+/// strict-`>` fold afterwards reproduces the serial trajectory (and
+/// evaluation count) bit for bit.
 pub fn coordinate_descent(obj: &Objective<'_>, space: &SearchSpace, start: Config) -> TuningResult {
+    fn sweep(obj: &Objective<'_>, cands: &[Config], cur: &mut Config, cur_gf: &mut f64) -> bool {
+        let gfs = eval_batch(obj, cands);
+        let mut improved = false;
+        for (&c, &gf) in cands.iter().zip(&gfs) {
+            if gf > *cur_gf {
+                *cur = c;
+                *cur_gf = gf;
+                improved = true;
+            }
+        }
+        improved
+    }
     let mut cur = start;
     let mut cur_gf = obj.eval(cur);
     loop {
         let mut improved = false;
         // Threads sweep.
-        for &t in &space.threads {
-            let cand = Config { threads: t, ..cur };
-            let gf = obj.eval(cand);
-            if gf > cur_gf {
-                cur = cand;
-                cur_gf = gf;
-                improved = true;
-            }
-        }
+        let cands: Vec<Config> = space
+            .threads
+            .iter()
+            .map(|&t| Config { threads: t, ..cur })
+            .collect();
+        improved |= sweep(obj, &cands, &mut cur, &mut cur_gf);
         // Thickness sweep.
-        for &th in &space.thicknesses {
-            let cand = Config {
+        let cands: Vec<Config> = space
+            .thicknesses
+            .iter()
+            .map(|&th| Config {
                 thickness: th,
                 ..cur
-            };
-            let gf = obj.eval(cand);
-            if gf > cur_gf {
-                cur = cand;
-                cur_gf = gf;
-                improved = true;
-            }
-        }
+            })
+            .collect();
+        improved |= sweep(obj, &cands, &mut cur, &mut cur_gf);
         // Block sweep.
-        for &b in &space.blocks {
-            let cand = Config { block: b, ..cur };
-            let gf = obj.eval(cand);
-            if gf > cur_gf {
-                cur = cand;
-                cur_gf = gf;
-                improved = true;
-            }
-        }
+        let cands: Vec<Config> = space
+            .blocks
+            .iter()
+            .map(|&b| Config { block: b, ..cur })
+            .collect();
+        improved |= sweep(obj, &cands, &mut cur, &mut cur_gf);
         if !improved {
             return TuningResult {
                 config: cur,
@@ -264,7 +292,12 @@ mod tests {
         let truth = exhaustive(&obj_ex, &space);
         let obj_cd = Objective::new(&m, GpuImpl::HybridOverlap, 8 * 16);
         let found = multistart_descent(&obj_cd, &space);
-        assert!(found.gf >= 0.98 * truth.gf, "{:.1} vs {:.1}", found.gf, truth.gf);
+        assert!(
+            found.gf >= 0.98 * truth.gf,
+            "{:.1} vs {:.1}",
+            found.gf,
+            truth.gf
+        );
     }
 
     #[test]

@@ -11,11 +11,11 @@ use advection_overlap::prelude::*;
 use tuner::{exhaustive, multistart_descent, Objective, SearchSpace};
 
 fn main() {
-    for (m, node_counts) in [
-        (yona(), vec![1usize, 4, 16]),
-        (lens(), vec![1usize, 8, 31]),
-    ] {
-        println!("== {} — tuning the CPU+GPU full-overlap implementation ==", m.name);
+    for (m, node_counts) in [(yona(), vec![1usize, 4, 16]), (lens(), vec![1usize, 8, 31])] {
+        println!(
+            "== {} — tuning the CPU+GPU full-overlap implementation ==",
+            m.name
+        );
         let space = SearchSpace::for_machine(&m);
         println!("search space: {} configurations", space.len());
         println!(
@@ -29,7 +29,10 @@ fn main() {
             let obj_cd = Objective::new(&m, GpuImpl::HybridOverlap, cores);
             let found = multistart_descent(&obj_cd, &space);
             let fmt = |c: tuner::Config| {
-                format!("T={} t={} block {}x{}", c.threads, c.thickness, c.block.0, c.block.1)
+                format!(
+                    "T={} t={} block {}x{}",
+                    c.threads, c.thickness, c.block.0, c.block.1
+                )
             };
             println!(
                 "{nodes:>6} {:>30} {:>10.1} {:>12} {:>30} {:>10.1} {:>12}",

@@ -12,7 +12,10 @@ use simgpu::timing::{best_block, resident_gigaflops};
 
 fn main() {
     for spec in [GpuSpec::tesla_c1060(), GpuSpec::tesla_c2050()] {
-        println!("== {} (max {} threads/block) ==", spec.name, spec.max_threads_per_block);
+        println!(
+            "== {} (max {} threads/block) ==",
+            spec.name, spec.max_threads_per_block
+        );
         println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "y \\ x", 16, 32, 64, 128);
         for by in [2usize, 4, 6, 8, 11, 12, 16, 24, 32] {
             print!("{by:>6}");

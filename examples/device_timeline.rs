@@ -21,7 +21,8 @@ fn main() {
         nz: n,
         halo: 1,
     };
-    let interior = advect_core::field::Range3::new((1, n as i64 - 1), (1, n as i64 - 1), (1, n as i64 - 1));
+    let interior =
+        advect_core::field::Range3::new((1, n as i64 - 1), (1, n as i64 - 1), (1, n as i64 - 1));
     // Halo traffic per direction: a few MB, so the PCIe time is of the
     // same order as the kernel (one node of the 420-case is like this).
     let ring = 500_000usize;

@@ -15,7 +15,11 @@
 use figures::extensions::{ext01_pcie_sweep, ext02_cores_per_gpu, ext03_pinned_ablation};
 
 fn main() {
-    for f in [ext01_pcie_sweep(), ext02_cores_per_gpu(), ext03_pinned_ablation()] {
+    for f in [
+        ext01_pcie_sweep(),
+        ext02_cores_per_gpu(),
+        ext03_pinned_ablation(),
+    ] {
         println!("{}", f.render_text());
     }
     println!(

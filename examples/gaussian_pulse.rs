@@ -41,7 +41,10 @@ fn main() {
         let e = s.norms().l2;
         match last {
             None => println!("  {g:>3}³: L2 = {e:.3e}"),
-            Some(prev) => println!("  {g:>3}³: L2 = {e:.3e}  (ratio {:.2}, expect ≈4 when doubling)", prev / e),
+            Some(prev) => println!(
+                "  {g:>3}³: L2 = {e:.3e}  (ratio {:.2}, expect ≈4 when doubling)",
+                prev / e
+            ),
         }
         last = Some(e);
     }

@@ -18,8 +18,14 @@ fn main() {
     let mut reference = SerialStepper::new(problem);
     reference.run(steps);
 
-    println!("functional layer: {}³ grid, {steps} steps, 4 MPI tasks, 2 threads/task", problem.n);
-    println!("{:<6} {:<28} {:>12} {:>10}", "sect.", "implementation", "max|diff|", "verified");
+    println!(
+        "functional layer: {}³ grid, {steps} steps, 4 MPI tasks, 2 threads/task",
+        problem.n
+    );
+    println!(
+        "{:<6} {:<28} {:>12} {:>10}",
+        "sect.", "implementation", "max|diff|", "verified"
+    );
     for im in overlap::Impl::ALL {
         let cfg = RunConfig::new(problem, steps)
             .tasks(if im.uses_mpi() { 4 } else { 1 })
@@ -46,7 +52,10 @@ fn main() {
     print!("{:<28}", "implementation");
     let node_counts = [1usize, 2, 4, 8, 16];
     for n in node_counts {
-        print!(" {:>8}", format!("{n} node{}", if n > 1 { "s" } else { "" }));
+        print!(
+            " {:>8}",
+            format!("{n} node{}", if n > 1 { "s" } else { "" })
+        );
     }
     println!();
     for im in perfmodel::AnyImpl::ALL {

@@ -29,7 +29,10 @@ fn main() {
             } else {
                 "thread overlap"
             };
-            println!("{cores:>8} {:>14.1} {:>14.1} {:>14.1}  {winner}", b.0, c.0, d.0);
+            println!(
+                "{cores:>8} {:>14.1} {:>14.1} {:>14.1}  {winner}",
+                b.0, c.0, d.0
+            );
         }
         println!();
         println!("threads-per-task sweep for the bulk-synchronous implementation:");

@@ -33,7 +33,9 @@ fn main() {
             ..AdvectionProblem::paper_case(n)
         }
         .with_pulse(center, 0.08);
-        let cfg = overlap::RunConfig::new(problem, steps).tasks(8).with_threads(2);
+        let cfg = overlap::RunConfig::new(problem, steps)
+            .tasks(8)
+            .with_threads(2);
         let state = overlap::BulkSyncMpi::run(&cfg);
         // Each tracer is checked against its own analytic solution and the
         // serial reference.

@@ -178,14 +178,15 @@ fn main() {
         nu = problem.nu,
         steps = a.steps
     );
-    println!("vs serial      : max|diff| = {diff:.3e} ({})", if diff == 0.0 { "bit-exact" } else { "MISMATCH" });
+    println!(
+        "vs serial      : max|diff| = {diff:.3e} ({})",
+        if diff == 0.0 { "bit-exact" } else { "MISMATCH" }
+    );
     println!(
         "vs analytic    : L1 {:.3e}  L2 {:.3e}  Linf {:.3e}",
         norms.l1, norms.l2, norms.linf
     );
-    println!(
-        "wall time      : {elapsed:.3}s (serial reference {serial_s:.3}s)"
-    );
+    println!("wall time      : {elapsed:.3}s (serial reference {serial_s:.3}s)");
     if a.stats {
         let points = (a.grid as u64).pow(3);
         println!(

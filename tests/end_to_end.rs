@@ -43,7 +43,11 @@ fn long_run_distributed_accuracy_matches_serial_accuracy() {
     // 16³ barely resolves the pulse (σ ≈ 1.6 cells), so the truncation
     // error is large in absolute terms; what matters is that it is the
     // *same* error and bounded.
-    assert!(dist_norms.linf < 0.6, "accuracy degraded: {}", dist_norms.linf);
+    assert!(
+        dist_norms.linf < 0.6,
+        "accuracy degraded: {}",
+        dist_norms.linf
+    );
 }
 
 #[test]
@@ -57,7 +61,10 @@ fn hybrid_partition_respects_load_balance_parameter() {
         let part = decomp::BoxPartition::new((14, 14, 14), t);
         assert!(part.cpu_points() > last_cpu_points);
         last_cpu_points = part.cpu_points();
-        let cfg = RunConfig::new(problem, 2).tasks(2).with_thickness(t).with_block((8, 8));
+        let cfg = RunConfig::new(problem, 2)
+            .tasks(2)
+            .with_thickness(t)
+            .with_block((8, 8));
         let got = overlap::Impl::HybridOverlap.run(&cfg, Some(&spec));
         assert_eq!(got.max_abs_diff(&expect), 0.0, "thickness {t}");
     }

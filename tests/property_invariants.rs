@@ -260,6 +260,155 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential tests: the row-vectorized fast path must be *bit-identical*
+// (`max_abs_diff == 0.0`, same backing storage) to the scalar per-point
+// oracle at every stencil entry point, on irregular regions — including
+// degenerate and empty ones — and non-cubic grids.
+
+/// A pseudo-random but deterministic field on an `nx × ny × nz` grid.
+fn seeded_field(nx: usize, ny: usize, nz: usize, seed: u64) -> Field3 {
+    let mut f = Field3::new(nx, ny, nz, 1);
+    f.fill_interior(|x, y, z| ((x * 31 + y * 7 + z * 3) as u64 ^ seed) as f64 * 0.125);
+    f.copy_periodic_halo();
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn region_fast_path_is_bit_identical_to_scalar(
+        nx in 3usize..11, ny in 3usize..11, nz in 3usize..11,
+        x0 in 0i64..6, x1 in 0i64..12,
+        y0 in 0i64..6, y1 in 0i64..12,
+        z0 in 0i64..6, z1 in 0i64..12,
+        seed in 0u64..1000,
+    ) {
+        use advect_core::stencil::{apply_stencil_region, apply_stencil_region_scalar};
+        // Clamping keeps the region inside the interior; x0 >= x1 (etc.)
+        // yields degenerate or empty regions, which must also agree.
+        let region = Range3::new(
+            (x0.min(nx as i64), x1.min(nx as i64)),
+            (y0.min(ny as i64), y1.min(ny as i64)),
+            (z0.min(nz as i64), z1.min(nz as i64)),
+        );
+        let s = Stencil27::new(Velocity::new(0.8, -0.3, 0.5), 0.7);
+        let src = seeded_field(nx, ny, nz, seed);
+        let mut fast = Field3::new(nx, ny, nz, 1);
+        let mut scalar = Field3::new(nx, ny, nz, 1);
+        apply_stencil_region(&src, &mut fast, &s, region);
+        apply_stencil_region_scalar(&src, &mut scalar, &s, region);
+        prop_assert_eq!(fast.max_abs_diff(&scalar), 0.0);
+        prop_assert_eq!(fast.data(), scalar.data());
+    }
+
+    #[test]
+    fn slab_fast_path_is_bit_identical_to_scalar(
+        nx in 3usize..10, ny in 3usize..10, nz in 4usize..10,
+        cut in 1i64..5,
+        seed in 0u64..1000,
+    ) {
+        use advect_core::stencil::{apply_stencil_slab, apply_stencil_slab_scalar};
+        prop_assume!(cut < nz as i64);
+        let s = Stencil27::new(Velocity::new(-0.6, 0.9, 0.2), 0.4);
+        let src = seeded_field(nx, ny, nz, seed);
+        let region = src.interior_range();
+        let mut fast = Field3::new(nx, ny, nz, 1);
+        for slab in &mut fast.z_slabs_mut(&[cut]) {
+            apply_stencil_slab(&src, slab, &s, region);
+        }
+        let mut scalar = Field3::new(nx, ny, nz, 1);
+        for slab in &mut scalar.z_slabs_mut(&[cut]) {
+            apply_stencil_slab_scalar(&src, slab, &s, region);
+        }
+        prop_assert_eq!(fast.max_abs_diff(&scalar), 0.0);
+    }
+
+    #[test]
+    fn shared_and_cells_fast_paths_are_bit_identical_to_scalar(
+        nx in 3usize..10, ny in 3usize..10, nz in 3usize..10,
+        x0 in 0i64..4, w in 0i64..10,
+        seed in 0u64..1000,
+    ) {
+        use advect_core::field::SharedField;
+        use advect_core::stencil::{
+            apply_stencil_cells, apply_stencil_cells_scalar, apply_stencil_shared,
+            apply_stencil_shared_scalar,
+        };
+        // An x-irregular region (possibly empty when w == 0).
+        let region = Range3::new(
+            (x0.min(nx as i64), (x0 + w).min(nx as i64)),
+            (0, ny as i64),
+            (0, nz as i64),
+        );
+        let s = Stencil27::new(Velocity::new(0.3, 0.3, -0.9), 1.1);
+        let mut src = seeded_field(nx, ny, nz, seed);
+        let mut out = [(); 4].map(|()| Field3::new(nx, ny, nz, 1));
+        {
+            let sh = SharedField::new(&mut out[0]);
+            apply_stencil_shared(&src, &sh, &s, region);
+        }
+        {
+            let sh = SharedField::new(&mut out[1]);
+            apply_stencil_shared_scalar(&src, &sh, &s, region);
+        }
+        {
+            let mut src2 = src.clone();
+            let ssh = SharedField::new(&mut src2);
+            let dsh = SharedField::new(&mut out[2]);
+            apply_stencil_cells(&ssh, &dsh, &s, region);
+        }
+        {
+            let ssh = SharedField::new(&mut src);
+            let dsh = SharedField::new(&mut out[3]);
+            apply_stencil_cells_scalar(&ssh, &dsh, &s, region);
+        }
+        prop_assert_eq!(out[0].max_abs_diff(&out[1]), 0.0);
+        prop_assert_eq!(out[0].max_abs_diff(&out[2]), 0.0);
+        prop_assert_eq!(out[0].max_abs_diff(&out[3]), 0.0);
+    }
+
+    #[test]
+    fn simgpu_kernels_are_bit_identical_to_core_scalar(
+        nx in 3usize..9, ny in 3usize..9, nz in 3usize..9,
+        bx in 3usize..8, by in 3usize..8, bz in 3usize..5,
+        seed in 0u64..1000,
+    ) {
+        use advect_core::stencil::apply_stencil_region_scalar;
+        use simgpu::kernels::{
+            run_stencil, run_stencil_3d, FieldDims, StencilLaunch, StencilLaunch3d,
+        };
+        let s = Stencil27::new(Velocity::new(1.0, 0.5, 0.25), 0.9);
+        let src = seeded_field(nx, ny, nz, seed);
+        let mut scalar = Field3::new(nx, ny, nz, 1);
+        apply_stencil_region_scalar(&src, &mut scalar, &s, src.interior_range());
+        // FieldDims with halo 1 lays the buffer out exactly like Field3,
+        // so the host field maps to the device buffer byte for byte.
+        let dims = FieldDims { nx, ny, nz, halo: 1 };
+        prop_assert_eq!(dims.len(), src.data().len());
+        let mut dst2 = vec![0.0f64; dims.len()];
+        run_stencil(src.data(), &mut dst2, &s.a, &StencilLaunch {
+            dims,
+            region: dims.interior(),
+            block: (bx, by),
+            periodic: false,
+        });
+        let mut dst3 = vec![0.0f64; dims.len()];
+        run_stencil_3d(src.data(), &mut dst3, &s.a, &StencilLaunch3d {
+            dims,
+            region: dims.interior(),
+            block: (bx, by, bz),
+            periodic: false,
+        });
+        for (x, y, z) in dims.interior().iter() {
+            let want = scalar.at(x, y, z);
+            prop_assert_eq!(dst2[dims.idx(x, y, z)], want, "2d kernel at {:?}", (x, y, z));
+            prop_assert_eq!(dst3[dims.idx(x, y, z)], want, "3d kernel at {:?}", (x, y, z));
+        }
+    }
+}
+
 #[test]
 fn distributed_exchange_equals_periodic_for_random_task_counts() {
     // Deterministic but broad: every task count up to 12 on an 8³ grid.

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim implements the subset of proptest the workspace's
+//! property tests use: the `proptest!` macro over named strategies,
+//! numeric `Range` strategies, `prop::collection::vec`,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Sampling is deterministic: each test derives its RNG seed from its own
+//! name, so failures reproduce exactly run-to-run (there is no shrinking —
+//! the failing inputs are printed instead).
+
+use std::ops::Range;
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` sampled cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Result type threaded through a generated test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic xorshift* RNG used for strategy sampling.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG (seed 0 is remapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash of a string, used to derive per-test RNG seeds.
+pub fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A source of sampled values. The single-method analogue of proptest's
+/// `Strategy`: `sample` draws one value.
+pub trait Strategy {
+    /// The type of sampled values.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// `prop::collection::vec` and friends.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with sampled length and elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector strategy: `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest::prelude` namespace mirror.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+    /// The `prop` module alias (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a proptest body; failure reports the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{} (left: `{:?}`, right: `{:?}`)", format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Skip the current case when its sampled inputs are infeasible.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The `proptest!` macro: a block of `#[test]` functions whose arguments
+/// are drawn from strategies. Each test runs `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    ($cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::new($crate::fxhash(concat!(module_path!(), "::", stringify!($name))));
+                let mut rejected: u32 = 0;
+                let mut case: u32 = 0;
+                while case < cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let result: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    match result {
+                        Ok(()) => { case += 1; }
+                        Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            if rejected > cfg.cases * 64 {
+                                panic!("proptest {}: too many rejected cases ({rejected})", stringify!($name));
+                            }
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {case}: {msg}\n  inputs: {}",
+                                stringify!($name),
+                                [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = crate::TestRng::new(42);
+        let mut b = crate::TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(-3i64..9), &mut rng);
+            assert!((-3..9).contains(&v));
+            let f = Strategy::sample(&(0.5f64..2.5), &mut rng);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_samples_and_asserts(x in 0usize..100, y in 1i64..5) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(y.signum(), 1);
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in prop::collection::vec(0.0f64..1.0, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+}
