@@ -274,6 +274,24 @@ impl Field3 {
         n
     }
 
+    /// Pack a region into a freshly built vector (x fastest). Rows are
+    /// appended with `extend_from_slice`, so — unlike `vec![0.0; len]`
+    /// followed by [`Field3::pack`] — no value is written twice.
+    pub fn pack_vec(&self, region: Range3) -> Vec<f64> {
+        let mut out = Vec::with_capacity(region.len());
+        let w = (region.x.1 - region.x.0).max(0) as usize;
+        for z in region.z.0..region.z.1 {
+            for y in region.y.0..region.y.1 {
+                if w == 0 {
+                    continue;
+                }
+                let s0 = self.idx(region.x.0, y, z);
+                out.extend_from_slice(&self.data[s0..s0 + w]);
+            }
+        }
+        out
+    }
+
     /// Unpack a contiguous buffer into a region (inverse of [`Field3::pack`]).
     pub fn unpack(&mut self, region: Range3, buf: &[f64]) -> usize {
         let mut n = 0;
@@ -514,6 +532,16 @@ impl<'a> SharedField<'a> {
         out
     }
 
+    /// Pack a region into a caller-provided buffer (x fastest), reading
+    /// through the shared cells — the reusable-staging variant of
+    /// [`SharedField::pack`]. `buf` must have length `region.len()`.
+    pub fn pack_into(&self, region: Range3, buf: &mut [f64]) {
+        debug_assert_eq!(buf.len(), region.len());
+        for (i, (x, y, z)) in region.iter().enumerate() {
+            buf[i] = self.read(x, y, z);
+        }
+    }
+
     /// Unpack a buffer into a region, writing through the shared cells.
     pub fn unpack(&self, region: Range3, data: &[f64]) {
         debug_assert_eq!(data.len(), region.len());
@@ -629,6 +657,29 @@ mod tests {
         for (x, y, z) in region.iter() {
             assert_eq!(g.at(x, y, z), f.at(x, y, z));
         }
+    }
+
+    #[test]
+    fn pack_vec_matches_pack() {
+        let mut f = Field3::new(5, 4, 3, 1);
+        f.fill_interior(|x, y, z| (x * 7 + y * 13 + z * 29) as f64);
+        f.copy_periodic_halo();
+        let region = Range3::new((-1, 4), (0, 4), (1, 3));
+        let mut buf = vec![0.0; region.len()];
+        f.pack(region, &mut buf);
+        assert_eq!(f.pack_vec(region), buf);
+    }
+
+    #[test]
+    fn shared_pack_into_matches_pack() {
+        let mut f = Field3::new(4, 4, 4, 1);
+        f.fill_interior(|x, y, z| (x + 10 * y + 100 * z) as f64);
+        let sh = SharedField::new(&mut f);
+        let region = Range3::new((0, 4), (1, 3), (0, 2));
+        let fresh = sh.pack(region);
+        let mut staged = vec![0.0; region.len()];
+        sh.pack_into(region, &mut staged);
+        assert_eq!(fresh, staged);
     }
 
     #[test]

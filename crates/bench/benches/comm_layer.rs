@@ -1,0 +1,133 @@
+//! Benches of the communication layer's fast path: pooled halo exchange
+//! vs. the fresh-allocation baseline at paper-scale grids, mailbox
+//! matching under many-channel load, and scalar allreduce — the costs the
+//! zero-allocation work in `simmpi`/`overlap` targets.
+
+use advect_core::field::Field3;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use decomp::{Decomposition, ExchangePlan};
+use overlap::halo::{exchange_halos, exchange_halos_fresh};
+use overlap::HaloBuffers;
+use simmpi::World;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Steps per timed world launch: amortizes `World::run`'s thread spawn so
+/// the measurement sees steady-state exchange cost, not setup.
+const STEPS: usize = 8;
+
+fn bench_halo_exchange(c: &mut Criterion) {
+    for n in [64usize, 128] {
+        let mut g = c.benchmark_group(format!("halo_exchange_{n}"));
+        g.sample_size(10);
+        g.warm_up_time(Duration::from_millis(500));
+        g.measurement_time(Duration::from_secs(3));
+        // f64 values crossing rank boundaries per timed iteration: six
+        // messages of one n² face each, per rank, per step.
+        for ntasks in [2usize, 4, 8] {
+            g.throughput(Throughput::Elements((6 * n * n * ntasks * STEPS) as u64));
+            g.bench_function(format!("pooled_{ntasks}_tasks"), |b| {
+                let d = Decomposition::new(ntasks, (n, n, n));
+                b.iter(|| {
+                    let dref = &d;
+                    World::run(ntasks, move |comm| {
+                        let sub = dref.subdomains[comm.rank()];
+                        let mut f = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
+                        f.fill_interior(|x, y, z| (x + y + z) as f64);
+                        let plan = ExchangePlan::new(sub.extent, 1);
+                        let bufs = HaloBuffers::new(&plan, comm);
+                        for _ in 0..STEPS {
+                            exchange_halos(&mut f, &plan, dref, comm.rank(), comm, &bufs);
+                        }
+                        black_box(f.at(0, 0, 0))
+                    })
+                })
+            });
+            g.bench_function(format!("fresh_{ntasks}_tasks"), |b| {
+                let d = Decomposition::new(ntasks, (n, n, n));
+                b.iter(|| {
+                    let dref = &d;
+                    World::run(ntasks, move |comm| {
+                        let sub = dref.subdomains[comm.rank()];
+                        let mut f = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
+                        f.fill_interior(|x, y, z| (x + y + z) as f64);
+                        let plan = ExchangePlan::new(sub.extent, 1);
+                        for _ in 0..STEPS {
+                            exchange_halos_fresh(&mut f, &plan, dref, comm.rank(), comm);
+                        }
+                        black_box(f.at(0, 0, 0))
+                    })
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_mailbox_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mailbox_matching");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    // Rank 1 floods rank 0 with messages across many tags, then rank 0
+    // drains them in reverse tag order — the worst case for the old
+    // linear (src, tag) scan, O(1) per take with indexed channels.
+    for tags in [8usize, 64] {
+        const PER_TAG: usize = 16;
+        g.throughput(Throughput::Elements((tags * PER_TAG) as u64));
+        g.bench_function(format!("reverse_drain_{tags}_tags"), |b| {
+            b.iter(|| {
+                World::run(2, move |comm| {
+                    if comm.rank() == 1 {
+                        for tag in 0..tags as u64 {
+                            for k in 0..PER_TAG {
+                                comm.send(0, tag, vec![k as f64]);
+                            }
+                        }
+                        0.0
+                    } else {
+                        let mut acc = 0.0;
+                        for tag in (0..tags as u64).rev() {
+                            for _ in 0..PER_TAG {
+                                acc += comm.recv(1, tag)[0];
+                            }
+                        }
+                        black_box(acc)
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for ntasks in [2usize, 8] {
+        const ROUNDS: usize = 64;
+        g.throughput(Throughput::Elements((ROUNDS * ntasks) as u64));
+        g.bench_function(format!("sum_{ntasks}_tasks"), |b| {
+            b.iter(|| {
+                World::run(ntasks, move |comm| {
+                    let mut acc = 0.0;
+                    for r in 0..ROUNDS {
+                        acc = comm.allreduce_sum(acc + r as f64 + comm.rank() as f64);
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_halo_exchange,
+    bench_mailbox_matching,
+    bench_allreduce
+);
+criterion_main!(benches);

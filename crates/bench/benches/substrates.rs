@@ -56,7 +56,8 @@ fn bench_halo_exchange(c: &mut Criterion) {
                     let mut f = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
                     f.fill_interior(|x, y, z| (x + y + z) as f64);
                     let plan = ExchangePlan::new(sub.extent, 1);
-                    exchange_halos(&mut f, &plan, dref, comm.rank(), comm);
+                    let bufs = overlap::HaloBuffers::new(&plan, comm);
+                    exchange_halos(&mut f, &plan, dref, comm.rank(), comm, &bufs);
                     black_box(f.at(0, 0, 0))
                 })
             })

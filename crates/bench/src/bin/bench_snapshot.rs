@@ -1,9 +1,12 @@
-//! Writes a machine-readable benchmark snapshot (`BENCH_1.json` at the
+//! Writes a machine-readable benchmark snapshot (`BENCH_2.json` at the
 //! repository root) so perf changes can be compared across commits:
 //!
 //! * stencil throughput in GF/s (53 flops/point, Table I count) for the
 //!   row-vectorized fast path and its scalar per-point oracle on the
 //!   128³ interior, plus the resulting speedup ratio;
+//! * steady-state halo-exchange throughput over the pooled fast path and
+//!   the fresh-allocation baseline on a 64³ grid across 4 ranks —
+//!   exchanged values/s, messages/s, and the pooled-over-fresh ratio;
 //! * wall-clock seconds for the `figures --report` claim evaluation.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_snapshot [OUT.json]`
@@ -12,10 +15,17 @@ use advect_core::coeffs::{Stencil27, Velocity};
 use advect_core::field::Field3;
 use advect_core::flops::FLOPS_PER_POINT;
 use advect_core::stencil::{apply_stencil_region, apply_stencil_region_scalar};
+use decomp::{Decomposition, ExchangePlan};
+use overlap::halo::{exchange_halos, exchange_halos_fresh};
+use overlap::HaloBuffers;
+use simmpi::World;
 use std::hint::black_box;
 use std::time::Instant;
 
 const N: usize = 128;
+const EXCHANGE_N: usize = 64;
+const EXCHANGE_TASKS: usize = 4;
+const EXCHANGE_STEPS: usize = 16;
 
 /// Median seconds per call over `samples` timed calls (after one warmup).
 fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -31,13 +41,54 @@ fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
+/// Median seconds for `EXCHANGE_STEPS` steady-state halo exchanges on an
+/// `EXCHANGE_N`³ grid over `EXCHANGE_TASKS` ranks. Each rank warms up
+/// with one untimed exchange, barriers, then times the loop; the world's
+/// median-across-ranks per launch feeds the median across launches.
+fn time_exchange(samples: usize, pooled: bool) -> f64 {
+    let d = Decomposition::new(EXCHANGE_TASKS, (EXCHANGE_N, EXCHANGE_N, EXCHANGE_N));
+    let run_once = || {
+        let dref = &d;
+        let mut per_rank = World::run(EXCHANGE_TASKS, move |comm| {
+            let sub = dref.subdomains[comm.rank()];
+            let mut f = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
+            f.fill_interior(|x, y, z| (x + y + z) as f64);
+            let plan = ExchangePlan::new(sub.extent, 1);
+            let bufs = HaloBuffers::new(&plan, comm);
+            // Warm up: populate staging slots / mailbox paths untimed.
+            if pooled {
+                exchange_halos(&mut f, &plan, dref, comm.rank(), comm, &bufs);
+            } else {
+                exchange_halos_fresh(&mut f, &plan, dref, comm.rank(), comm);
+            }
+            comm.barrier();
+            let t0 = Instant::now();
+            for _ in 0..EXCHANGE_STEPS {
+                if pooled {
+                    exchange_halos(&mut f, &plan, dref, comm.rank(), comm, &bufs);
+                } else {
+                    exchange_halos_fresh(&mut f, &plan, dref, comm.rank(), comm);
+                }
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            black_box(f.at(0, 0, 0));
+            dt
+        });
+        per_rank.sort_by(|a, b| a.partial_cmp(b).expect("finite time"));
+        per_rank[per_rank.len() / 2]
+    };
+    let mut times: Vec<f64> = (0..samples).map(|_| run_once()).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite time"));
+    times[times.len() / 2]
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
             .nth(2)
             .expect("repo root")
-            .join("BENCH_1.json")
+            .join("BENCH_2.json")
             .to_string_lossy()
             .into_owned()
     });
@@ -59,6 +110,15 @@ fn main() {
     let gf_fast = flops / t_fast / 1e9;
     let gf_scalar = flops / t_scalar / 1e9;
 
+    // Comm layer: per-rank messages and values per steady-state exchange.
+    let msgs = (6 * EXCHANGE_STEPS) as f64;
+    let values = (6 * EXCHANGE_N * EXCHANGE_N * EXCHANGE_STEPS) as f64;
+    let t_pooled = time_exchange(7, true);
+    let t_fresh = time_exchange(7, false);
+    let ex_values_per_s = values / t_pooled;
+    let ex_msgs_per_s = msgs / t_pooled;
+    let pooled_over_fresh = t_fresh / t_pooled;
+
     let t0 = Instant::now();
     let claims = figures::report::evaluate_claims();
     let report = figures::report::render_markdown(&claims);
@@ -68,7 +128,12 @@ fn main() {
     let json = format!(
         "{{\n  \"grid\": {N},\n  \"flops_per_point\": {FLOPS_PER_POINT},\n  \
          \"stencil_fast_gf\": {gf_fast:.3},\n  \"stencil_scalar_gf\": {gf_scalar:.3},\n  \
-         \"fast_over_scalar\": {:.3},\n  \"figures_report_seconds\": {t_report:.3},\n  \
+         \"fast_over_scalar\": {:.3},\n  \
+         \"exchange_grid\": {EXCHANGE_N},\n  \"exchange_tasks\": {EXCHANGE_TASKS},\n  \
+         \"exchange_values_per_sec\": {ex_values_per_s:.0},\n  \
+         \"exchange_messages_per_sec\": {ex_msgs_per_s:.0},\n  \
+         \"exchange_pooled_over_fresh\": {pooled_over_fresh:.3},\n  \
+         \"figures_report_seconds\": {t_report:.3},\n  \
          \"sweep_threads\": {}\n}}\n",
         gf_fast / gf_scalar,
         advect_core::sweep::SweepPool::global().threads(),

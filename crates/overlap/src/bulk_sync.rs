@@ -4,7 +4,7 @@
 //! nonblocking receives posted first), then the full local stencil, then
 //! the state copy — no overlap of communication and computation.
 
-use crate::halo::exchange_halos;
+use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::Field3;
 use advect_core::stencil::{apply_stencil_slab, copy_region_slab};
@@ -31,13 +31,14 @@ impl BulkSyncMpi {
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
             let plan = ExchangePlan::new(sub.extent, 1);
+            let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let cuts = z_cuts(sub.extent.2, cfg.threads);
             let region = cur.interior_range();
             comm.barrier(); // the paper barriers before starting the timer
             for _ in 0..cfg.steps {
                 // Step 1: full exchange, master thread drives communication.
-                exchange_halos(&mut cur, &plan, decomp_ref, rank, comm);
+                exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 // Step 2: stencil over the whole interior, threaded by z-slab.
                 {
                     let src = &cur;

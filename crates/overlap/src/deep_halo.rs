@@ -16,7 +16,7 @@
 //! because every computed value sees exactly the same inputs in the same
 //! tap order.
 
-use crate::halo::exchange_halos;
+use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::{Field3, Range3, SharedField};
 use advect_core::stencil::apply_stencil_shared;
@@ -56,12 +56,13 @@ impl DeepHaloBulkSync {
             }
             let mut new = Field3::new(nx, ny, nz, width);
             let plan = ExchangePlan::new(sub.extent, width);
+            let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
             comm.barrier();
             let mut remaining = cfg.steps;
             while remaining > 0 {
-                exchange_halos(&mut cur, &plan, decomp_ref, rank, comm);
+                exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 let burst = (width as u64).min(remaining);
                 for s in 0..burst {
                     // Extend the computed region beyond the interior by
@@ -173,11 +174,12 @@ mod tests {
                 let mut cur = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, width);
                 cur.fill_interior(|x, y, z| (x + y + z) as f64);
                 let plan = ExchangePlan::new(sub.extent, width);
+                let bufs = HaloBuffers::new(&plan, comm);
                 let stencil = problem.stencil();
                 let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, width);
                 let mut remaining = 6u64;
                 while remaining > 0 {
-                    exchange_halos(&mut cur, &plan, dref, comm.rank(), comm);
+                    exchange_halos(&mut cur, &plan, dref, comm.rank(), comm, &bufs);
                     let burst = (width as u64).min(remaining);
                     for s in 0..burst {
                         let e = (width as i64) - 1 - s as i64;

@@ -9,7 +9,7 @@
 //! serialized on the default stream (no overlap).
 
 use crate::gpu_common::DeviceField;
-use crate::halo::exchange_halos;
+use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::Field3;
 use decomp::partition::BoxPartition;
@@ -42,6 +42,7 @@ impl GpuBulkSyncMpi {
             // subdomain; the partition provides the face/interior split.
             let part = BoxPartition::new(sub.extent, 0);
             let plan = ExchangePlan::new(sub.extent, 1);
+            let halo_bufs = HaloBuffers::new(&plan, comm);
             comm.barrier();
             for _ in 0..cfg.steps {
                 // CPU copies boundary buffers from the GPU...
@@ -54,7 +55,7 @@ impl GpuBulkSyncMpi {
                 );
                 gpu.sync_device();
                 // ...communicates the boundaries...
-                exchange_halos(&mut host, &plan, decomp_ref, rank, comm);
+                exchange_halos(&mut host, &plan, decomp_ref, rank, comm, &halo_bufs);
                 // ...copies halo buffers back to the GPU...
                 dev.regions_h2d(&gpu, Stream::DEFAULT, dev.cur, &part.gpu_halo_ring, &host);
                 // ...and makes kernel calls for the faces and interior.

@@ -7,7 +7,7 @@
 //! computation. The CPU ends the step by synchronizing the two streams.
 
 use crate::gpu_common::DeviceField;
-use crate::halo::exchange_halos;
+use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::Field3;
 use decomp::partition::BoxPartition;
@@ -37,6 +37,7 @@ impl GpuStreamsMpi {
             let mut dev = DeviceField::from_host(&gpu, &host);
             let part = BoxPartition::new(sub.extent, 0);
             let plan = ExchangePlan::new(sub.extent, 1);
+            let halo_bufs = HaloBuffers::new(&plan, comm);
             let s_halo = gpu.create_stream();
             comm.barrier();
             for _ in 0..cfg.steps {
@@ -59,7 +60,7 @@ impl GpuStreamsMpi {
                 // boundary kernels.
                 dev.regions_d2h(&gpu, s_halo, dev.cur, &part.gpu_boundary_ring, &mut host);
                 gpu.sync_stream(s_halo);
-                exchange_halos(&mut host, &plan, decomp_ref, rank, comm);
+                exchange_halos(&mut host, &plan, decomp_ref, rank, comm, &halo_bufs);
                 dev.regions_h2d(&gpu, s_halo, dev.cur, &part.gpu_halo_ring, &host);
                 for &face in &part.gpu_boundary_ring {
                     if face.is_empty() {

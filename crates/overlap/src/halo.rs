@@ -5,10 +5,72 @@
 //! ([`post_phase_recvs`], [`send_phase`], [`complete_phase`]) are exposed
 //! separately so the overlap implementations (IV-C, IV-I) can interleave
 //! computation between a phase's initiation and completion.
+//!
+//! All paths stage messages through [`HaloBuffers`]: persistent per-rank
+//! buffers, one slot per transfer, derived once from the
+//! [`ExchangePlan`]. A send takes its slot's buffer, packs into it, and
+//! ships it; the matching receive's payload (exactly the same size — a
+//! phase's partner subdomains agree on every non-phase extent) refills
+//! the slot. After the first step the exchange therefore allocates
+//! nothing: no fresh `Vec` per message, no pool traffic, just six
+//! buffers circulating between a rank and its neighbors.
+//! [`exchange_halos_fresh`] keeps the old allocate-per-message path as
+//! the differential-testing and benchmarking baseline.
 
 use advect_core::field::Field3;
 use decomp::{Decomposition, ExchangePlan, PhasePlan};
-use simmpi::{Comm, RecvRequest};
+use parking_lot::Mutex;
+use simmpi::{Comm, PooledBuf, RecvRequest};
+
+/// Persistent per-rank staging for the six transfers of a halo exchange.
+///
+/// Slots are interior-mutable (a `parking_lot::Mutex` around the array)
+/// so the thread-overlap implementation's master thread can drive an
+/// exchange through a shared reference while worker threads compute. The
+/// lock is uncontended in every schedule — only the communicating thread
+/// touches it.
+pub struct HaloBuffers {
+    /// `slots[dim][i]`: staging for transfer `i` of phase `dim`.
+    slots: Mutex<[[Option<PooledBuf>; 2]; 3]>,
+}
+
+impl HaloBuffers {
+    /// Derive staging from a plan, pre-leasing all six buffers from the
+    /// communicator's pool (the only leases a steady-state exchange ever
+    /// makes).
+    pub fn new(plan: &ExchangePlan, comm: &Comm) -> Self {
+        let slots = plan
+            .phases
+            .map(|p| p.transfers.map(|t| Some(comm.lease(t.send_region.len()))));
+        Self {
+            slots: Mutex::new(slots),
+        }
+    }
+
+    /// Take the staging buffer for transfer `i` of phase `dim`, leasing a
+    /// fresh one from the pool if the slot is empty (first use, or a
+    /// caller that dropped a payload instead of depositing it).
+    pub fn take(&self, dim: usize, i: usize, len: usize, comm: &Comm) -> PooledBuf {
+        match self.slots.lock()[dim][i].take() {
+            Some(buf) => {
+                debug_assert_eq!(
+                    buf.len(),
+                    len,
+                    "slot ({dim},{i}) staged a wrong-size buffer"
+                );
+                comm.note_buffer_recycled();
+                buf
+            }
+            None => comm.lease(len),
+        }
+    }
+
+    /// Refill the slot for transfer `i` of phase `dim` with a received
+    /// payload, keeping it rank-local for the next step's send.
+    pub fn deposit(&self, dim: usize, i: usize, buf: PooledBuf) {
+        self.slots.lock()[dim][i] = Some(buf);
+    }
+}
 
 /// Pending receives of one phase, to be completed after overlapped work.
 pub struct PhaseInFlight<'a> {
@@ -38,30 +100,33 @@ pub fn post_phase_recvs<'a>(
     }
 }
 
-/// Pack and send both directions of a phase.
+/// Pack and send both directions of a phase through the staging slots.
 pub fn send_phase(
     phase: &PhasePlan,
     field: &Field3,
     decomp: &Decomposition,
     rank: usize,
     comm: &Comm,
+    bufs: &HaloBuffers,
 ) {
-    for t in &phase.transfers {
+    for (i, t) in phase.transfers.iter().enumerate() {
         let to = decomp.neighbor(rank, t.dim, t.send_dir);
-        let mut buf = vec![0.0; t.send_region.len()];
+        let mut buf = bufs.take(phase.dim, i, t.send_region.len(), comm);
         field.pack(t.send_region, &mut buf);
-        comm.send(to, t.send_tag, buf);
+        comm.send_pooled(to, t.send_tag, buf);
     }
 }
 
-/// Wait for a phase's receives and unpack them into the halo.
-pub fn complete_phase(inflight: PhaseInFlight<'_>, field: &mut Field3) {
+/// Wait for a phase's receives, unpack them into the halo, and refill the
+/// staging slots with the received buffers.
+pub fn complete_phase(inflight: PhaseInFlight<'_>, field: &mut Field3, bufs: &HaloBuffers) {
     let phase = inflight.phase;
     for (i, req) in inflight.recvs {
         let data = req.wait();
         let region = phase.transfers[i].recv_region;
         debug_assert_eq!(data.len(), region.len());
         field.unpack(region, &data);
+        bufs.deposit(phase.dim, i, data);
     }
 }
 
@@ -75,6 +140,7 @@ pub fn exchange_halos_shared(
     decomp: &Decomposition,
     rank: usize,
     comm: &Comm,
+    bufs: &HaloBuffers,
 ) {
     for phase in &plan.phases {
         let mut recvs = Vec::with_capacity(2);
@@ -82,13 +148,16 @@ pub fn exchange_halos_shared(
             let from = decomp.neighbor(rank, t.dim, -t.send_dir);
             recvs.push((i, comm.irecv(from, t.recv_tag)));
         }
-        for t in &phase.transfers {
+        for (i, t) in phase.transfers.iter().enumerate() {
             let to = decomp.neighbor(rank, t.dim, t.send_dir);
-            comm.send(to, t.send_tag, field.pack(t.send_region));
+            let mut buf = bufs.take(phase.dim, i, t.send_region.len(), comm);
+            field.pack_into(t.send_region, &mut buf);
+            comm.send_pooled(to, t.send_tag, buf);
         }
         for (i, req) in recvs {
             let data = req.wait();
             field.unpack(phase.transfers[i].recv_region, &data);
+            bufs.deposit(phase.dim, i, data);
         }
     }
 }
@@ -101,11 +170,38 @@ pub fn exchange_halos(
     decomp: &Decomposition,
     rank: usize,
     comm: &Comm,
+    bufs: &HaloBuffers,
 ) {
     for phase in &plan.phases {
         let inflight = post_phase_recvs(phase, decomp, rank, comm);
-        send_phase(phase, field, decomp, rank, comm);
-        complete_phase(inflight, field);
+        send_phase(phase, field, decomp, rank, comm, bufs);
+        complete_phase(inflight, field, bufs);
+    }
+}
+
+/// The pre-pool exchange: allocates a fresh buffer per message and drops
+/// every received payload. Kept as the differential-testing oracle and
+/// the benchmark baseline the pooled path is measured against.
+pub fn exchange_halos_fresh(
+    field: &mut Field3,
+    plan: &ExchangePlan,
+    decomp: &Decomposition,
+    rank: usize,
+    comm: &Comm,
+) {
+    for phase in &plan.phases {
+        let inflight = post_phase_recvs(phase, decomp, rank, comm);
+        for t in &phase.transfers {
+            let to = decomp.neighbor(rank, t.dim, t.send_dir);
+            comm.send(to, t.send_tag, field.pack_vec(t.send_region));
+        }
+        let phase = inflight.phase;
+        for (i, req) in inflight.recvs {
+            let data = req.wait();
+            let region = phase.transfers[i].recv_region;
+            debug_assert_eq!(data.len(), region.len());
+            field.unpack(region, &data.into_vec());
+        }
     }
 }
 
@@ -137,7 +233,8 @@ mod tests {
                     ((ox as i64 + x) + 10 * (oy as i64 + y) + 100 * (oz as i64 + z)) as f64
                 });
                 let plan = ExchangePlan::new(sub.extent, 1);
-                exchange_halos(&mut local, &plan, decomp_ref, rank, comm);
+                let bufs = HaloBuffers::new(&plan, comm);
+                exchange_halos(&mut local, &plan, decomp_ref, rank, comm, &bufs);
                 (rank, local)
             });
 
@@ -159,6 +256,42 @@ mod tests {
                         "ntasks={ntasks} rank={rank} local ({x},{y},{z})"
                     );
                 }
+            }
+        }
+    }
+
+    /// Repeated exchanges through [`HaloBuffers`] never lease beyond the
+    /// initial six buffers: the staging slots self-recycle.
+    #[test]
+    fn steady_state_exchange_allocates_nothing() {
+        let n = 8usize;
+        for ntasks in [2usize, 4] {
+            let decomp = Decomposition::new(ntasks, (n, n, n));
+            let decomp_ref = &decomp;
+            let results = World::run(ntasks, move |comm| {
+                let rank = comm.rank();
+                let sub = decomp_ref.subdomains[rank];
+                let mut local =
+                    advect_core::field::Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
+                local.fill_interior(|x, y, z| (x + y + z) as f64);
+                let plan = ExchangePlan::new(sub.extent, 1);
+                let bufs = HaloBuffers::new(&plan, comm);
+                let warm = comm.stats();
+                for _ in 0..10 {
+                    exchange_halos(&mut local, &plan, decomp_ref, rank, comm, &bufs);
+                }
+                (warm, comm.stats())
+            });
+            for (rank, (warm, done)) in results.iter().enumerate() {
+                assert_eq!(
+                    done.buffers_allocated, warm.buffers_allocated,
+                    "rank {rank}: steady-state exchange allocated buffers"
+                );
+                assert_eq!(
+                    done.buffers_recycled - warm.buffers_recycled,
+                    6 * 10,
+                    "rank {rank}: every send reused its staging slot"
+                );
             }
         }
     }

@@ -9,7 +9,7 @@
 //! communication is up-front and serial.
 
 use crate::gpu_common::DeviceField;
-use crate::halo::exchange_halos;
+use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::{Field3, SharedField};
 use advect_core::stencil::apply_stencil_shared;
@@ -42,6 +42,7 @@ impl HybridBulkSync {
             let mut dev = DeviceField::from_host(&gpu, &cur);
             let part = BoxPartition::new(sub.extent, cfg.thickness);
             let plan = ExchangePlan::new(sub.extent, 1);
+            let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
             comm.barrier();
@@ -56,7 +57,7 @@ impl HybridBulkSync {
                 );
                 gpu.sync_device();
                 // ...outer exchange: MPI halos...
-                exchange_halos(&mut cur, &plan, decomp_ref, rank, comm);
+                exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 // ...inner exchange: CPU ring back to the GPU as its halo.
                 dev.regions_h2d(&gpu, Stream::DEFAULT, dev.cur, &part.gpu_halo_ring, &cur);
                 // GPU kernels for the inner block points (async)...

@@ -17,6 +17,7 @@
 //!   Section V-E identifies as the real win.
 
 use crate::gpu_common::DeviceField;
+use crate::halo::HaloBuffers;
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::{Field3, SharedField};
 use advect_core::stencil::apply_stencil_cells;
@@ -60,6 +61,7 @@ impl HybridOverlap {
             let mut dev = DeviceField::from_host(&gpu, &cur);
             let part = BoxPartition::new(sub.extent, cfg.thickness);
             let plan = ExchangePlan::new(sub.extent, 1);
+            let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
             let full = cur.interior_range();
@@ -118,9 +120,11 @@ impl HybridOverlap {
                             let from = decomp_ref.neighbor(rank, t.dim, -t.send_dir);
                             recvs.push((i, comm.irecv(from, t.recv_tag)));
                         }
-                        for t in &phase.transfers {
+                        for (i, t) in phase.transfers.iter().enumerate() {
                             let to = decomp_ref.neighbor(rank, t.dim, t.send_dir);
-                            comm.send(to, t.send_tag, cur_shared.pack(t.send_region));
+                            let mut buf = halo_bufs.take(dim, i, t.send_region.len(), comm);
+                            cur_shared.pack_into(t.send_region, &mut buf);
+                            comm.send_pooled(to, t.send_tag, buf);
                         }
                         // Inner wall points of this dimension, overlapped
                         // with the communication just initiated.
@@ -136,7 +140,9 @@ impl HybridOverlap {
                             }
                         });
                         for (i, req) in recvs {
-                            cur_shared.unpack(phase.transfers[i].recv_region, &req.wait());
+                            let data = req.wait();
+                            cur_shared.unpack(phase.transfers[i].recv_region, &data);
+                            halo_bufs.deposit(dim, i, data);
                         }
                     }
                     // 4. Outer boundary points of every wall (need halos).

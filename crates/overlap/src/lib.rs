@@ -39,6 +39,7 @@ pub use deep_halo::DeepHaloBulkSync;
 pub use gpu_bulk_sync::GpuBulkSyncMpi;
 pub use gpu_resident::GpuResident;
 pub use gpu_streams::GpuStreamsMpi;
+pub use halo::HaloBuffers;
 pub use hybrid_bulk_sync::HybridBulkSync;
 pub use hybrid_overlap::HybridOverlap;
 pub use nonblocking::NonblockingMpi;

@@ -7,7 +7,7 @@
 //! second within y, and the third within z. The boundary points are
 //! computed after all communication completes.
 
-use crate::halo::{complete_phase, post_phase_recvs, send_phase};
+use crate::halo::{complete_phase, post_phase_recvs, send_phase, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::Field3;
 use advect_core::stencil::{apply_stencil_slab, copy_region_slab};
@@ -35,6 +35,7 @@ impl NonblockingMpi {
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
             let plan = ExchangePlan::new(sub.extent, 1);
+            let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
             let full = cur.interior_range();
@@ -47,7 +48,7 @@ impl NonblockingMpi {
                 // complete phase d.
                 for (d, third) in thirds.iter().enumerate() {
                     let inflight = post_phase_recvs(&plan.phases[d], decomp_ref, rank, comm);
-                    send_phase(&plan.phases[d], &cur, decomp_ref, rank, comm);
+                    send_phase(&plan.phases[d], &cur, decomp_ref, rank, comm, &halo_bufs);
                     {
                         let src = &cur;
                         let slabs = new.z_slabs_mut(&cuts);
@@ -55,7 +56,7 @@ impl NonblockingMpi {
                             apply_stencil_slab(src, &mut slab, &stencil, *third);
                         });
                     }
-                    complete_phase(inflight, &mut cur);
+                    complete_phase(inflight, &mut cur, &halo_bufs);
                 }
                 // Boundary points after communication.
                 {

@@ -160,22 +160,23 @@ pub fn assemble_global(
     comm: &Comm,
     local: &Field3,
 ) -> Option<Field3> {
-    let sub = decomp.subdomains[comm.rank()];
-    let mut payload = vec![0.0; sub.len()];
-    local.pack(local.interior_range(), &mut payload);
+    let payload = local.pack_vec(local.interior_range());
     let all = comm.gather_to_root(payload)?;
     let n = cfg.problem.n;
     let mut global = Field3::new(n, n, n, 1);
     for (rank, data) in all.iter().enumerate() {
         let s = decomp.subdomains[rank];
-        let (ox, oy, oz) = s.offset;
+        let (ox, oy, oz) = (s.offset.0 as i64, s.offset.1 as i64, s.offset.2 as i64);
+        let (ex, ey, ez) = s.extent;
+        // Payloads are packed x fastest, so each (y, z) run is one
+        // contiguous x-row of the global field.
         let mut i = 0;
-        for z in 0..s.extent.2 as i64 {
-            for y in 0..s.extent.1 as i64 {
-                for x in 0..s.extent.0 as i64 {
-                    *global.at_mut(ox as i64 + x, oy as i64 + y, oz as i64 + z) = data[i];
-                    i += 1;
-                }
+        for z in 0..ez as i64 {
+            for y in 0..ey as i64 {
+                global
+                    .row_mut(ox, oy + y, oz + z, ex)
+                    .copy_from_slice(&data[i..i + ex]);
+                i += ex;
             }
         }
     }

@@ -15,7 +15,7 @@
 //! [`advect_core::field::SharedField`]'s `UnsafeCell` cells, keeping the
 //! overlap sound.
 
-use crate::halo::exchange_halos_shared;
+use crate::halo::{exchange_halos_shared, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::{Field3, Range3, SharedField};
 use advect_core::stencil::{apply_stencil_cells, copy_region_slab};
@@ -43,6 +43,7 @@ impl ThreadOverlapMpi {
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
             let plan = ExchangePlan::new(sub.extent, 1);
+            let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
             let full = cur.interior_range();
@@ -60,7 +61,9 @@ impl ThreadOverlapMpi {
                     team.parallel(|ctx| {
                         if ctx.is_master() {
                             // Master: communicate, then join the guided loop.
-                            exchange_halos_shared(cur_ref, &plan, decomp_ref, rank, comm);
+                            exchange_halos_shared(
+                                cur_ref, &plan, decomp_ref, rank, comm, &halo_bufs,
+                            );
                         }
                         while let Some(chunk) = queue.next_chunk() {
                             let region = Range3::new(

@@ -2,6 +2,9 @@
 //!
 //! The barrier is sense-reversing so it is reusable; the reduction slots
 //! are generation-counted so back-to-back allreduces cannot mix rounds.
+//! Scalar allreduces go through [`ScalarSlots`], which holds one `f64`
+//! per rank and never allocates; the vector path ([`ReduceSlots`]) backs
+//! `gather_to_root`.
 
 use parking_lot::{Condvar, Mutex};
 
@@ -42,6 +45,93 @@ impl Barrier {
                 self.cv.wait(&mut s);
             }
         }
+    }
+}
+
+/// Scalar allreduce slots: one `f64` per rank, fixed at world creation,
+/// so `allreduce_sum`/`allreduce_max` never touch the heap (the vector
+/// variant, [`ReduceSlots`], clones every rank's contribution per caller).
+///
+/// The last contributor folds the slots **in rank order** — the same
+/// order the old vector path reduced in — so results stay bit-identical.
+/// Both the sum and the max are computed in that single pass; callers
+/// read whichever their collective asked for (all ranks call the same
+/// collective in the same order, per MPI semantics).
+pub(crate) struct ScalarSlots {
+    n: usize,
+    state: Mutex<ScalarState>,
+    cv: Condvar,
+}
+
+struct ScalarState {
+    /// One contribution slot per rank for the current round.
+    slots: Vec<Option<f64>>,
+    /// Whether a completed round's result is still being read.
+    have_result: bool,
+    sum: f64,
+    max: f64,
+    readers_left: usize,
+    round: u64,
+}
+
+impl ScalarSlots {
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: Mutex::new(ScalarState {
+                slots: vec![None; n],
+                have_result: false,
+                sum: 0.0,
+                max: f64::NEG_INFINITY,
+                readers_left: 0,
+                round: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Contribute `value` for `rank`; once every rank has contributed,
+    /// returns `(sum, max)` over all contributions. Rounds cannot
+    /// interleave: a new round cannot start until every rank has read the
+    /// previous result.
+    pub fn exchange(&self, rank: usize, value: f64) -> (f64, f64) {
+        let mut s = self.state.lock();
+        while s.have_result && s.slots[rank].is_some() {
+            self.cv.wait(&mut s);
+        }
+        while s.have_result {
+            self.cv.wait(&mut s);
+        }
+        assert!(s.slots[rank].is_none(), "rank {rank} double-contributed");
+        s.slots[rank] = Some(value);
+        let filled = s.slots.iter().filter(|v| v.is_some()).count();
+        if filled == self.n {
+            let mut sum = 0.0;
+            let mut max = f64::NEG_INFINITY;
+            for v in s.slots.iter_mut() {
+                let x = v.take().expect("filled");
+                sum += x;
+                max = max.max(x);
+            }
+            s.sum = sum;
+            s.max = max;
+            s.have_result = true;
+            s.readers_left = self.n;
+            s.round += 1;
+            self.cv.notify_all();
+        } else {
+            let round = s.round;
+            while s.round == round {
+                self.cv.wait(&mut s);
+            }
+        }
+        let out = (s.sum, s.max);
+        s.readers_left -= 1;
+        if s.readers_left == 0 {
+            s.have_result = false;
+            self.cv.notify_all();
+        }
+        out
     }
 }
 

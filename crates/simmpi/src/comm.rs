@@ -1,7 +1,8 @@
 //! The per-rank communicator handle.
 
-use crate::collectives::{Barrier, ReduceSlots};
+use crate::collectives::{Barrier, ReduceSlots, ScalarSlots};
 use crate::mailbox::{Mailbox, Message};
+use crate::pool::{BufferPool, PooledBuf};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -14,6 +15,8 @@ pub(crate) struct WorldInner {
     pub mailboxes: Vec<Mailbox>,
     pub barrier: Barrier,
     pub reduce: ReduceSlots,
+    pub scalar: ScalarSlots,
+    pub pool: Arc<BufferPool>,
 }
 
 /// Per-rank traffic counters.
@@ -29,6 +32,13 @@ pub struct CommStats {
     pub values_received: u64,
     /// Barrier invocations.
     pub barriers: u64,
+    /// Message buffers this rank obtained by fresh heap allocation.
+    pub buffers_allocated: u64,
+    /// Message buffers this rank obtained by recycling — from the world's
+    /// buffer pool or from persistent per-rank staging (halo-buffer
+    /// slots). A warmed-up hot loop shows this growing while
+    /// `buffers_allocated` stays flat.
+    pub buffers_recycled: u64,
 }
 
 /// A rank's handle to the world: MPI's communicator analogue.
@@ -70,6 +80,28 @@ impl Comm {
         );
     }
 
+    /// Lease a message buffer of exactly `len` values from the world's
+    /// buffer pool, recycling a retired buffer when one of the right
+    /// capacity class is free. The lease returns to the pool on drop;
+    /// [`Comm::send_pooled`] consumes it without a copy.
+    pub fn lease(&self, len: usize) -> PooledBuf {
+        let (buf, recycled) = self.inner.pool.lease(len);
+        let mut s = self.stats.lock();
+        if recycled {
+            s.buffers_recycled += 1;
+        } else {
+            s.buffers_allocated += 1;
+        }
+        buf
+    }
+
+    /// Record a buffer reuse that bypassed the pool (persistent per-rank
+    /// staging, e.g. halo-buffer slots, feeds this counter so steady-state
+    /// allocation behavior stays observable through [`CommStats`]).
+    pub fn note_buffer_recycled(&self) {
+        self.stats.lock().buffers_recycled += 1;
+    }
+
     /// Blocking buffered send: the payload is moved into the destination
     /// mailbox and the call returns (like `MPI_Bsend`).
     pub fn send(&self, dest: usize, tag: Tag, data: Vec<f64>) {
@@ -86,6 +118,13 @@ impl Comm {
         });
     }
 
+    /// Send a pool-leased buffer: the buffer travels to the destination
+    /// without recycling here; the destination's receive re-leases it, so
+    /// it re-enters circulation there.
+    pub fn send_pooled(&self, dest: usize, tag: Tag, buf: PooledBuf) {
+        self.send(dest, tag, buf.into_vec());
+    }
+
     /// Nonblocking send (like `MPI_Isend` with a buffered protocol): the
     /// message is posted immediately; the returned request is already
     /// complete but preserves the MPI call structure of the ported code.
@@ -94,14 +133,16 @@ impl Comm {
         SendRequest { _complete: true }
     }
 
-    /// Blocking receive matching `(src, tag)`.
-    pub fn recv(&self, src: usize, tag: Tag) -> Vec<f64> {
+    /// Blocking receive matching `(src, tag)`. The payload is a pool
+    /// lease: dropping it recycles the buffer into the world's pool.
+    pub fn recv(&self, src: usize, tag: Tag) -> PooledBuf {
         self.check_rank(src, "source");
         let data = self.inner.mailboxes[self.rank].take_matching(src, tag);
         let mut s = self.stats.lock();
         s.messages_received += 1;
         s.values_received += data.len() as u64;
-        data
+        drop(s);
+        PooledBuf::attach(data, self.inner.pool.clone())
     }
 
     /// Nonblocking receive (like `MPI_Irecv`): returns a request that can
@@ -117,7 +158,7 @@ impl Comm {
 
     /// Wait for all receive requests, returning their payloads in order
     /// (like `MPI_Waitall`).
-    pub fn waitall(&self, reqs: Vec<RecvRequest<'_>>) -> Vec<Vec<f64>> {
+    pub fn waitall(&self, reqs: Vec<RecvRequest<'_>>) -> Vec<PooledBuf> {
         reqs.into_iter().map(|r| r.wait()).collect()
     }
 
@@ -126,30 +167,25 @@ impl Comm {
         self.inner.mailboxes[self.rank].len()
     }
 
+    /// Number of retired buffers parked in the world's pool (diagnostic).
+    pub fn pooled_buffers(&self) -> usize {
+        self.inner.pool.free_buffers()
+    }
+
     /// Block until every rank reaches the barrier.
     pub fn barrier(&self) {
         self.stats.lock().barriers += 1;
         self.inner.barrier.wait();
     }
 
-    /// Global sum of one value per rank.
+    /// Global sum of one value per rank (allocation-free: scalar slots).
     pub fn allreduce_sum(&self, value: f64) -> f64 {
-        self.inner
-            .reduce
-            .exchange(self.rank, vec![value])
-            .iter()
-            .map(|v| v[0])
-            .sum()
+        self.inner.scalar.exchange(self.rank, value).0
     }
 
-    /// Global maximum of one value per rank.
+    /// Global maximum of one value per rank (allocation-free).
     pub fn allreduce_max(&self, value: f64) -> f64 {
-        self.inner
-            .reduce
-            .exchange(self.rank, vec![value])
-            .iter()
-            .map(|v| v[0])
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.inner.scalar.exchange(self.rank, value).1
     }
 
     /// Gather each rank's vector to rank 0. Returns `Some(all)` on rank 0
@@ -179,13 +215,15 @@ pub struct RecvRequest<'a> {
 }
 
 impl RecvRequest<'_> {
-    /// Block until the matching message arrives; returns its payload.
-    pub fn wait(self) -> Vec<f64> {
+    /// Block until the matching message arrives; returns its payload as a
+    /// pool lease (recycles into the world's pool on drop).
+    pub fn wait(self) -> PooledBuf {
         let data = self.comm.inner.mailboxes[self.comm.rank].take_matching(self.src, self.tag);
         let mut s = self.comm.stats.lock();
         s.messages_received += 1;
         s.values_received += data.len() as u64;
-        data
+        drop(s);
+        PooledBuf::attach(data, self.comm.inner.pool.clone())
     }
 
     /// Non-blocking test: whether the matching message has arrived

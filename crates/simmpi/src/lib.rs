@@ -13,7 +13,15 @@
 //! * collectives: [`Comm::barrier`], [`Comm::allreduce_sum`],
 //!   [`Comm::allreduce_max`], [`Comm::gather_to_root`];
 //! * a rank may send to itself (the paper notes "a task may be its own
-//!   neighbor in decompositions with small or prime numbers of tasks").
+//!   neighbor in decompositions with small or prime numbers of tasks");
+//! * message buffers are pooled per world: [`Comm::lease`] hands out
+//!   [`PooledBuf`] leases from a capacity-classed free list,
+//!   [`Comm::send_pooled`] moves them to the destination, and receives
+//!   return leases that recycle on drop — so a warmed-up communication
+//!   loop allocates no new buffers ([`CommStats::buffers_allocated`]);
+//! * mailbox matching is indexed per `(source, tag)` channel (O(1)
+//!   instead of a linear scan) while preserving MPI's non-overtaking
+//!   order within each channel.
 //!
 //! Sends are buffered (they complete locally, like `MPI_Ibsend`): payloads
 //! are moved into the destination mailbox at post time. That matches how
@@ -28,9 +36,11 @@
 mod collectives;
 mod comm;
 mod mailbox;
+mod pool;
 mod world;
 
 pub use comm::{Comm, CommStats, RecvRequest, SendRequest, Tag};
+pub use pool::PooledBuf;
 pub use world::World;
 
 #[cfg(test)]
@@ -207,6 +217,61 @@ mod tests {
             let expect: f64 = (0..n).filter(|&r| r != rank).map(|r| r as f64).sum();
             assert_eq!(sum, expect);
         }
+    }
+
+    #[test]
+    fn pooled_ring_allocates_only_during_warmup() {
+        // After the first round trip, every lease is served by recycling:
+        // the received buffer retires into the pool before the next lease.
+        let n = 4usize;
+        let results = World::run(n, move |comm| {
+            let right = (comm.rank() + 1) % n;
+            let left = (comm.rank() + n - 1) % n;
+            for _ in 0..50 {
+                let req = comm.irecv(left, 0);
+                let mut buf = comm.lease(256);
+                buf[0] = comm.rank() as f64;
+                comm.send_pooled(right, 0, buf);
+                let got = req.wait();
+                assert_eq!(got[0], left as f64);
+                // `got` drops here and recycles into the pool.
+            }
+            comm.stats()
+        });
+        for (rank, s) in results.iter().enumerate() {
+            assert!(
+                s.buffers_allocated <= 2,
+                "rank {rank}: {} allocations for 50 rounds",
+                s.buffers_allocated
+            );
+            assert_eq!(s.buffers_allocated + s.buffers_recycled, 50);
+        }
+    }
+
+    #[test]
+    fn recv_lease_recycles_into_world_pool() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0; 512]);
+            } else {
+                let got = comm.recv(0, 0);
+                assert_eq!(got.len(), 512);
+                drop(got);
+                assert!(comm.pooled_buffers() >= 1);
+                let lease = comm.lease(512);
+                assert_eq!(comm.stats().buffers_recycled, 1);
+                drop(lease);
+            }
+        });
+    }
+
+    #[test]
+    fn detached_buffers_bypass_the_pool() {
+        World::run(1, |comm| {
+            let v = comm.lease(128).into_vec();
+            assert_eq!(v.len(), 128);
+            assert_eq!(comm.pooled_buffers(), 0);
+        });
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! Per-rank mailboxes with MPI-style `(source, tag)` matching.
+//!
+//! Matching is indexed: each `(source, tag)` channel has its own FIFO
+//! queue in a hash map, so `take_matching` is O(1) in the number of
+//! queued messages instead of a linear scan under the mutex. Channel
+//! queues persist once created (a halo exchange reuses the same six
+//! channels every step), so the steady state allocates nothing.
 
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// A message in flight.
 #[derive(Debug)]
@@ -11,6 +17,14 @@ pub(crate) struct Message {
     pub data: Vec<f64>,
 }
 
+#[derive(Default)]
+struct Channels {
+    /// One FIFO per `(source, tag)` channel.
+    queues: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+    /// Messages queued across all channels.
+    total: usize,
+}
+
 /// A rank's incoming-message queue.
 ///
 /// Messages from the same `(source, tag)` are delivered in send order
@@ -18,40 +32,46 @@ pub(crate) struct Message {
 /// order, exactly as MPI's matching rules allow.
 #[derive(Default)]
 pub(crate) struct Mailbox {
-    queue: Mutex<VecDeque<Message>>,
+    channels: Mutex<Channels>,
     arrived: Condvar,
 }
 
 impl Mailbox {
     /// Deposit a message and wake any waiting receiver.
     pub fn deliver(&self, msg: Message) {
-        let mut q = self.queue.lock();
-        q.push_back(msg);
+        let mut c = self.channels.lock();
+        c.queues
+            .entry((msg.src, msg.tag))
+            .or_default()
+            .push_back(msg.data);
+        c.total += 1;
         self.arrived.notify_all();
     }
 
     /// Block until a message matching `(src, tag)` is available and remove
-    /// it. The *first* match in arrival order is taken.
+    /// it. Same-channel messages are taken in arrival order.
     pub fn take_matching(&self, src: usize, tag: u64) -> Vec<f64> {
-        let mut q = self.queue.lock();
+        let mut c = self.channels.lock();
         loop {
-            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                return q.remove(pos).expect("position is valid").data;
+            if let Some(data) = c.queues.get_mut(&(src, tag)).and_then(|q| q.pop_front()) {
+                c.total -= 1;
+                return data;
             }
-            self.arrived.wait(&mut q);
+            self.arrived.wait(&mut c);
         }
     }
 
     /// Non-blocking probe: whether a matching message has arrived.
     pub fn has_matching(&self, src: usize, tag: u64) -> bool {
-        self.queue
+        self.channels
             .lock()
-            .iter()
-            .any(|m| m.src == src && m.tag == tag)
+            .queues
+            .get(&(src, tag))
+            .is_some_and(|q| !q.is_empty())
     }
 
     /// Number of messages currently queued (for diagnostics).
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.channels.lock().total
     }
 }

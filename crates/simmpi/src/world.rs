@@ -1,8 +1,9 @@
 //! Launching a world of ranks.
 
-use crate::collectives::{Barrier, ReduceSlots};
+use crate::collectives::{Barrier, ReduceSlots, ScalarSlots};
 use crate::comm::{Comm, WorldInner};
 use crate::mailbox::Mailbox;
+use crate::pool::BufferPool;
 use std::sync::Arc;
 
 /// A world of `size` ranks, each running on its own OS thread.
@@ -35,6 +36,8 @@ impl World {
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
             barrier: Barrier::new(size),
             reduce: ReduceSlots::new(size),
+            scalar: ScalarSlots::new(size),
+            pool: Arc::new(BufferPool::new()),
         });
         let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {

@@ -431,7 +431,8 @@ fn distributed_exchange_equals_periodic_for_random_task_counts() {
                 ((ox as i64 + x) + 10 * (oy as i64 + y) + 100 * (oz as i64 + z)) as f64
             });
             let plan = ExchangePlan::new(sub.extent, 1);
-            overlap::halo::exchange_halos(&mut local, &plan, dref, comm.rank(), comm);
+            let bufs = overlap::HaloBuffers::new(&plan, comm);
+            overlap::halo::exchange_halos(&mut local, &plan, dref, comm.rank(), comm, &bufs);
             (comm.rank(), local)
         });
         for (rank, local) in results {
