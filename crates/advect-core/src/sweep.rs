@@ -16,8 +16,24 @@
 //! degrades to inline evaluation on the calling thread with no spawning
 //! and no queue traffic.
 
+use obs::{Category, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+static SWEEP_TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// Install a process-wide span recorder for sweep batches: each worker
+/// records one `compute.interior` span covering its share of the batch
+/// (label `sweep.worker`, or `sweep.inline` on the no-spawn path).
+/// Idempotent; without an install, sweeps trace into the no-op sink.
+pub fn install_tracer(tracer: Tracer) {
+    let _ = SWEEP_TRACER.set(tracer);
+}
+
+fn tracer() -> &'static Tracer {
+    static OFF: Tracer = Tracer::off();
+    SWEEP_TRACER.get().unwrap_or(&OFF)
+}
 
 /// A fixed-width pool for embarrassingly parallel sweeps.
 ///
@@ -73,6 +89,7 @@ impl SweepPool {
     {
         let workers = self.threads.min(n);
         if workers <= 1 {
+            let _span = tracer().span(Category::ComputeInterior, "sweep.inline");
             return (0..n).map(f).collect();
         }
         let next = AtomicUsize::new(0);
@@ -83,6 +100,7 @@ impl SweepPool {
                     let next = &next;
                     let f = &f;
                     scope.spawn(move || {
+                        let _span = tracer().span(Category::ComputeInterior, "sweep.worker");
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);

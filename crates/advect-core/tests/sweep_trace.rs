@@ -1,0 +1,38 @@
+//! The sweep engine's tracer hook (own binary: the recorder installed
+//! here is process-wide, so these assertions must not share a process
+//! with unrelated sweep-running tests).
+
+use advect_core::sweep::{install_tracer, SweepPool};
+use obs::{Anchor, Category, Tracer};
+
+#[test]
+fn sweep_workers_record_compute_spans() {
+    let tracer = Tracer::on(0, Anchor::now());
+    install_tracer(tracer.clone());
+
+    // Inline path (single worker).
+    let out = SweepPool::new(1).map_indices(4, |i| i * 2);
+    assert_eq!(out, vec![0, 2, 4, 6]);
+
+    // Spawned path.
+    let out = SweepPool::new(3).map_indices(32, |i| i);
+    assert_eq!(out.len(), 32);
+
+    let trace = tracer.finish();
+    let inline = trace
+        .spans
+        .iter()
+        .filter(|s| s.label == "sweep.inline")
+        .count();
+    let workers = trace
+        .spans
+        .iter()
+        .filter(|s| s.label == "sweep.worker")
+        .count();
+    assert_eq!(inline, 1);
+    assert_eq!(workers, 3);
+    for s in &trace.spans {
+        assert_eq!(s.cat, Category::ComputeInterior);
+        assert!(s.wall_end_ns >= s.wall_start_ns);
+    }
+}

@@ -1,4 +1,4 @@
-//! Writes a machine-readable benchmark snapshot (`BENCH_2.json` at the
+//! Writes a machine-readable benchmark snapshot (`BENCH_3.json` at the
 //! repository root) so perf changes can be compared across commits:
 //!
 //! * stencil throughput in GF/s (53 flops/point, Table I count) for the
@@ -7,6 +7,10 @@
 //! * steady-state halo-exchange throughput over the pooled fast path and
 //!   the fresh-allocation baseline on a 64³ grid across 4 ranks —
 //!   exchanged values/s, messages/s, and the pooled-over-fresh ratio;
+//! * the tracing-off overhead ratio: the same pooled exchange loop runs
+//!   through the disabled tracer hooks; dividing the committed
+//!   `BENCH_2.json` (pre-tracing) throughput by today's shows what the
+//!   no-op sink costs (≈1.0 means free, as designed);
 //! * wall-clock seconds for the `figures --report` claim evaluation.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_snapshot [OUT.json]`
@@ -82,13 +86,28 @@ fn time_exchange(samples: usize, pooled: bool) -> f64 {
     times[times.len() / 2]
 }
 
+/// The pre-tracing snapshot's pooled-exchange throughput (values/s),
+/// read from the committed `BENCH_2.json`, or 0.0 when absent.
+fn bench2_exchange_values_per_sec() -> f64 {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .join("BENCH_2.json");
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| figures::json::Value::parse(&text).ok())
+        .and_then(|v| v["exchange_values_per_sec"].as_f64())
+        .unwrap_or(0.0)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
             .nth(2)
             .expect("repo root")
-            .join("BENCH_2.json")
+            .join("BENCH_3.json")
             .to_string_lossy()
             .into_owned()
     });
@@ -118,6 +137,16 @@ fn main() {
     let ex_values_per_s = values / t_pooled;
     let ex_msgs_per_s = msgs / t_pooled;
     let pooled_over_fresh = t_fresh / t_pooled;
+    // Tracing-off overhead: this binary never enables tracing, so the
+    // exchange above already paid the disabled hooks' cost. Against the
+    // committed pre-tracing BENCH_2.json, >1.0 means the no-op sink
+    // slowed the comm layer down; ≈1.0 (within noise) means zero-cost.
+    let bench2 = bench2_exchange_values_per_sec();
+    let tracing_off_overhead = if bench2 > 0.0 {
+        bench2 / ex_values_per_s
+    } else {
+        0.0
+    };
 
     let t0 = Instant::now();
     let claims = figures::report::evaluate_claims();
@@ -133,6 +162,7 @@ fn main() {
          \"exchange_values_per_sec\": {ex_values_per_s:.0},\n  \
          \"exchange_messages_per_sec\": {ex_msgs_per_s:.0},\n  \
          \"exchange_pooled_over_fresh\": {pooled_over_fresh:.3},\n  \
+         \"tracing_off_overhead_ratio\": {tracing_off_overhead:.3},\n  \
          \"figures_report_seconds\": {t_report:.3},\n  \
          \"sweep_threads\": {}\n}}\n",
         gf_fast / gf_scalar,

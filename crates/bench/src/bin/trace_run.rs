@@ -1,0 +1,77 @@
+//! Trace all nine implementations and export Chrome-trace JSON.
+//!
+//! Runs each implementation of Section IV on a small grid with span
+//! tracing enabled, writes one `trace_<impl>.json` per implementation
+//! (loadable in `ui.perfetto.dev` or `chrome://tracing`), validates each
+//! export in-process, and prints the wall-clock phase breakdown plus the
+//! measured MPI↔compute and PCIe↔compute overlap efficiencies.
+//!
+//! Usage: `cargo run --release -p bench --bin trace_run [OUT_DIR]`
+
+use advect_core::stepper::AdvectionProblem;
+use bench::validate_chrome_trace;
+use obs::Axis;
+use overlap::{Impl, RunConfig};
+use simgpu::GpuSpec;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let spec = GpuSpec::tesla_c2050();
+    // Thickness 1 keeps the hybrids' GPU deep interior non-empty on the
+    // 4-task subdomains, so the interior kernel has PCIe traffic to
+    // overlap with on the device timeline.
+    let base = RunConfig::new(AdvectionProblem::general_case(12), 3)
+        .with_threads(2)
+        .with_block((8, 8))
+        .with_thickness(1)
+        .with_trace(true);
+
+    let mut failures = 0;
+    for im in Impl::ALL {
+        let cfg = if im.uses_mpi() { base.tasks(4) } else { base };
+        let (_, report) = im.run_with_report(&cfg, Some(&spec));
+        let json = obs::chrome::chrome_trace(&report.traces);
+        let path = format!("{out_dir}/trace_{}.json", im.slug());
+        std::fs::write(&path, &json).expect("write trace");
+
+        println!("## {} — {} ({})", im.section(), im.name(), path);
+        match validate_chrome_trace(&json) {
+            Ok(check) => {
+                println!(
+                    "valid: {} events on {} categories: {}",
+                    check.complete_events,
+                    check.categories.len(),
+                    check
+                        .categories
+                        .iter()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+            Err(e) => {
+                println!("INVALID: {e}");
+                failures += 1;
+            }
+        }
+        let mpi = report.mpi_compute_overlap();
+        let pcie = report.pcie_compute_overlap();
+        println!(
+            "overlap efficiency: mpi↔compute {:.3}, pcie↔compute {:.3}",
+            mpi.efficiency(),
+            pcie.efficiency()
+        );
+        println!("{}", report.phase_breakdown(Axis::Wall).render_markdown());
+        if im.uses_gpu() {
+            println!(
+                "{}",
+                report.phase_breakdown(Axis::Virtual).render_markdown()
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} trace export(s) failed validation");
+        std::process::exit(1);
+    }
+}

@@ -1,2 +1,129 @@
-//! Bench helpers live in the bench targets; this crate exists to host
-//! the Criterion bench suite (see benches/).
+//! Bench-suite support: the Criterion benches live in `benches/`; this
+//! library hosts the Chrome-trace validator shared by the `trace_run`
+//! binary and the CI trace smoke job. It lives here (not in `obs`) so
+//! the tracing crate stays dependency-free — the validator reuses the
+//! offline JSON parser from `figures::json`.
+
+use figures::json::Value;
+use std::collections::BTreeSet;
+
+/// Summary of a validated Chrome-trace document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Complete ("X") duration events.
+    pub complete_events: usize,
+    /// Metadata ("M") events.
+    pub meta_events: usize,
+    /// Distinct event categories (`cat` fields) present.
+    pub categories: BTreeSet<String>,
+}
+
+impl TraceCheck {
+    /// Whether every category in `wanted` appears in the trace.
+    pub fn has_categories(&self, wanted: &[&str]) -> bool {
+        wanted.iter().all(|c| self.categories.contains(*c))
+    }
+}
+
+/// Validate a Chrome-trace JSON document as `trace_run` emits it:
+/// well-formed JSON, a `traceEvents` array, every duration event carrying
+/// finite non-negative `ts`/`dur`, and timestamps monotone in file order
+/// within each `(pid, tid)` track (the property Perfetto's importer
+/// relies on for streaming loads).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let doc = Value::parse(text)?;
+    let events = doc["traceEvents"]
+        .as_array()
+        .ok_or("missing traceEvents array")?;
+    let mut check = TraceCheck {
+        complete_events: 0,
+        meta_events: 0,
+        categories: BTreeSet::new(),
+    };
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e["ph"].as_str().ok_or(format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => check.meta_events += 1,
+            "X" => {
+                check.complete_events += 1;
+                let name = e["name"].as_str().ok_or(format!("event {i}: no name"))?;
+                if name.is_empty() {
+                    return Err(format!("event {i}: empty name"));
+                }
+                if let Some(cat) = e["cat"].as_str() {
+                    check.categories.insert(cat.to_string());
+                }
+                let num = |k: &str| {
+                    e[k].as_f64()
+                        .filter(|v| v.is_finite())
+                        .ok_or(format!("event {i}: bad {k}"))
+                };
+                let (pid, tid) = (num("pid")? as u64, num("tid")? as u64);
+                let (ts, dur) = (num("ts")?, num("dur")?);
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+                if ts < *prev {
+                    return Err(format!(
+                        "event {i}: track ({pid},{tid}) timestamps not monotone \
+                         ({ts} after {prev})"
+                    ));
+                }
+                *prev = ts;
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    if check.complete_events == 0 {
+        return Err("no duration events".into());
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{Category, Span, Trace};
+
+    fn sample() -> String {
+        let t = Trace {
+            rank: 0,
+            spans: vec![
+                Span::wall(Category::MpiSend, "halo", 1, 0, 500),
+                Span::wall(Category::ComputeInterior, "", 1, 600, 2_000),
+                Span::virtual_span(Category::PcieH2d, "ring", 1, 0.0, 0.25),
+            ],
+            dropped: 0,
+        };
+        obs::chrome::chrome_trace(&[t])
+    }
+
+    #[test]
+    fn validates_exporter_output() {
+        let check = validate_chrome_trace(&sample()).expect("valid");
+        assert_eq!(check.complete_events, 3);
+        assert!(check.meta_events >= 1);
+        assert!(check.has_categories(&["mpi.send", "compute.interior", "pcie.h2d"]));
+        assert!(!check.has_categories(&["mpi.recv"]));
+    }
+
+    #[test]
+    fn rejects_garbage_and_non_monotone_tracks() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        let bad = r#"{"traceEvents":[
+            {"name":"a","cat":"c","ph":"X","pid":0,"tid":1,"ts":5.0,"dur":1.0},
+            {"name":"b","cat":"c","ph":"X","pid":0,"tid":1,"ts":2.0,"dur":1.0}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+        // Same timestamps on different tracks are fine.
+        let ok = r#"{"traceEvents":[
+            {"name":"a","cat":"c","ph":"X","pid":0,"tid":1,"ts":5.0,"dur":1.0},
+            {"name":"b","cat":"c","ph":"X","pid":0,"tid":2,"ts":2.0,"dur":1.0}
+        ]}"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+    }
+}

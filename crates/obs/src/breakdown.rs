@@ -1,0 +1,154 @@
+//! Per-rank phase-breakdown tables.
+//!
+//! Answers the paper's "where does a step spend its time" question: for
+//! each rank, the busy seconds per category (interval union, so nested or
+//! repeated spans are not double-counted), plus an aggregated row.
+
+use crate::metrics::{merge_intervals, union_seconds};
+use crate::{Axis, Category, Trace};
+
+/// Busy seconds per category for one rank.
+#[derive(Debug, Clone)]
+pub struct RankBreakdown {
+    /// The rank this row describes.
+    pub rank: usize,
+    /// Busy seconds, indexed in [`Category::ALL`] order.
+    pub seconds: [f64; Category::ALL.len()],
+}
+
+impl RankBreakdown {
+    /// Busy seconds for one category.
+    pub fn get(&self, cat: Category) -> f64 {
+        let idx = Category::ALL.iter().position(|c| *c == cat).unwrap();
+        self.seconds[idx]
+    }
+
+    /// Sum over all categories (not a makespan — resources may overlap).
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+}
+
+/// The full table: one row per rank plus an aggregate.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Which clock the table was computed on.
+    pub axis: Axis,
+    /// Per-rank rows, in rank order.
+    pub ranks: Vec<RankBreakdown>,
+}
+
+impl Breakdown {
+    /// Column-wise sum over ranks.
+    pub fn aggregate(&self) -> RankBreakdown {
+        let mut agg = RankBreakdown {
+            rank: usize::MAX,
+            seconds: [0.0; Category::ALL.len()],
+        };
+        for row in &self.ranks {
+            for (a, s) in agg.seconds.iter_mut().zip(row.seconds.iter()) {
+                *a += s;
+            }
+        }
+        agg
+    }
+
+    /// Render as a GitHub-flavoured markdown table; categories with no
+    /// time anywhere are omitted to keep the table readable.
+    pub fn render_markdown(&self) -> String {
+        let agg = self.aggregate();
+        let cols: Vec<usize> = (0..Category::ALL.len())
+            .filter(|&i| agg.seconds[i] > 0.0)
+            .collect();
+        let mut out = String::from("| rank |");
+        for &i in &cols {
+            out.push_str(&format!(" {} |", Category::ALL[i].name()));
+        }
+        out.push_str(" total |\n|---|");
+        for _ in &cols {
+            out.push_str("---|");
+        }
+        out.push_str("---|\n");
+        let fmt = |s: f64| {
+            if s >= 1.0 {
+                format!("{s:.3} s")
+            } else if s >= 1e-3 {
+                format!("{:.3} ms", s * 1e3)
+            } else {
+                format!("{:.1} µs", s * 1e6)
+            }
+        };
+        for row in &self.ranks {
+            out.push_str(&format!("| {} |", row.rank));
+            for &i in &cols {
+                out.push_str(&format!(" {} |", fmt(row.seconds[i])));
+            }
+            out.push_str(&format!(" {} |\n", fmt(row.total())));
+        }
+        out.push_str("| **all** |");
+        for &i in &cols {
+            out.push_str(&format!(" {} |", fmt(agg.seconds[i])));
+        }
+        out.push_str(&format!(" {} |\n", fmt(agg.total())));
+        out
+    }
+}
+
+/// Compute the per-category busy time for each rank on one axis.
+pub fn phase_breakdown(traces: &[Trace], axis: Axis) -> Breakdown {
+    let ranks = traces
+        .iter()
+        .map(|t| {
+            let mut seconds = [0.0; Category::ALL.len()];
+            for (i, cat) in Category::ALL.iter().enumerate() {
+                let iv = merge_intervals(
+                    t.spans
+                        .iter()
+                        .filter(|s| s.cat == *cat)
+                        .filter_map(|s| s.interval_on(axis))
+                        .collect(),
+                );
+                seconds[i] = union_seconds(&iv);
+            }
+            RankBreakdown {
+                rank: t.rank,
+                seconds,
+            }
+        })
+        .collect();
+    Breakdown { axis, ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Span;
+
+    #[test]
+    fn breakdown_unions_within_category_and_sums_across_ranks() {
+        let t0 = Trace {
+            rank: 0,
+            spans: vec![
+                Span::wall(Category::MpiSend, "s", 0, 0, 2_000),
+                Span::wall(Category::MpiSend, "s", 0, 1_000, 3_000),
+                Span::wall(Category::ComputeInterior, "c", 0, 0, 5_000),
+            ],
+            dropped: 0,
+        };
+        let t1 = Trace {
+            rank: 1,
+            spans: vec![Span::wall(Category::ComputeInterior, "c", 0, 0, 1_000)],
+            dropped: 0,
+        };
+        let b = phase_breakdown(&[t0, t1], Axis::Wall);
+        assert!((b.ranks[0].get(Category::MpiSend) - 3e-6).abs() < 1e-15);
+        let agg = b.aggregate();
+        assert!((agg.get(Category::ComputeInterior) - 6e-6).abs() < 1e-15);
+        let md = b.render_markdown();
+        assert!(md.contains("mpi.send"));
+        assert!(md.contains("compute.interior"));
+        // Idle categories are dropped from the table.
+        assert!(!md.contains("pcie.h2d"));
+        assert!(md.contains("**all**"));
+    }
+}

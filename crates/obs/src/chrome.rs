@@ -1,0 +1,163 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Emits the JSON object format (`{"traceEvents": [...]}`) with complete
+//! ("X") events, loadable in `ui.perfetto.dev` or `chrome://tracing`.
+//! Wall-clock spans from rank *r* appear under process *r* (one track per
+//! recording thread); virtual-clock spans bridged from the device
+//! timeline appear under process `1000 + r` (one track per stream), so
+//! the host's real timing and the simulator's scheduled timing sit side
+//! by side without pretending they share a clock.
+
+use crate::{Axis, Trace};
+
+/// Process-id offset for virtual-axis (device-timeline) tracks.
+pub const VIRTUAL_PID_OFFSET: u64 = 1000;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_us(us: f64) -> String {
+    // Chrome-trace timestamps are microseconds; three decimals keeps
+    // nanosecond resolution without float noise.
+    format!("{us:.3}")
+}
+
+struct Event {
+    name: String,
+    cat: &'static str,
+    pid: u64,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+}
+
+/// Serialise per-rank traces to a Chrome-trace JSON string.
+pub fn chrome_trace(traces: &[Trace]) -> String {
+    let mut events: Vec<Event> = Vec::new();
+    let mut meta: Vec<String> = Vec::new();
+    for t in traces {
+        let wall_pid = t.rank as u64;
+        let virt_pid = VIRTUAL_PID_OFFSET + t.rank as u64;
+        let mut has_wall = false;
+        let mut has_virt = false;
+        for s in &t.spans {
+            let (pid, ts_us, dur_us) = match s.axis {
+                Axis::Wall => {
+                    has_wall = true;
+                    (
+                        wall_pid,
+                        s.wall_start_ns as f64 / 1e3,
+                        s.wall_end_ns.saturating_sub(s.wall_start_ns) as f64 / 1e3,
+                    )
+                }
+                Axis::Virtual => {
+                    has_virt = true;
+                    (
+                        virt_pid,
+                        s.virt_start * 1e6,
+                        (s.virt_end - s.virt_start).max(0.0) * 1e6,
+                    )
+                }
+            };
+            let name = if s.label.is_empty() {
+                s.cat.name().to_string()
+            } else {
+                format!("{} ({})", s.cat.name(), s.label)
+            };
+            events.push(Event {
+                name,
+                cat: s.cat.name(),
+                pid,
+                tid: s.tid as u64,
+                ts_us,
+                dur_us,
+            });
+        }
+        if has_wall {
+            meta.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{wall_pid},\"args\":{{\"name\":\"rank {} (wall)\"}}}}",
+                t.rank
+            ));
+        }
+        if has_virt {
+            meta.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{virt_pid},\"args\":{{\"name\":\"rank {} (device, virtual)\"}}}}",
+                t.rank
+            ));
+        }
+    }
+    // Sort by (pid, tid, ts) so each track's timestamps are monotone in
+    // file order — the property the CI smoke check validates.
+    events.sort_by(|a, b| {
+        (a.pid, a.tid)
+            .cmp(&(b.pid, b.tid))
+            .then(a.ts_us.partial_cmp(&b.ts_us).unwrap())
+    });
+    let mut lines: Vec<String> = meta;
+    lines.extend(events.iter().map(|e| {
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            escape(&e.name),
+            e.cat,
+            e.pid,
+            e.tid,
+            fmt_us(e.ts_us),
+            fmt_us(e.dur_us)
+        )
+    }));
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Category, Span};
+
+    #[test]
+    fn export_separates_axes_and_orders_tracks() {
+        let t = Trace {
+            rank: 2,
+            spans: vec![
+                Span::wall(Category::MpiSend, "halo", 7, 2_000, 5_000),
+                Span::wall(Category::ComputeInterior, "", 7, 0, 1_000),
+                Span::virtual_span(Category::PcieH2d, "halo", 1, 0.5, 1.5),
+            ],
+            dropped: 0,
+        };
+        let json = chrome_trace(&[t]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"cat\":\"mpi.send\""));
+        assert!(json.contains("\"cat\":\"pcie.h2d\""));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"pid\":1002"));
+        assert!(json.contains("rank 2 (wall)"));
+        assert!(json.contains("rank 2 (device, virtual)"));
+        // Within the wall track the compute span (ts 0) precedes the send
+        // (ts 2): monotone in file order.
+        let compute = json.find("compute.interior").unwrap();
+        let send = json.find("mpi.send (halo)").unwrap();
+        assert!(compute < send);
+        // Unlabelled spans use the bare category name.
+        assert!(json.contains("\"name\":\"compute.interior\""));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,598 @@
+//! # obs
+//!
+//! The observability substrate: one span stream per rank covering every
+//! resource a step touches — CPU compute, MPI traffic, PCIe transfers,
+//! kernel launches — so the overlap behaviour the paper's Section V-E
+//! argues about is directly visible and machine-checkable instead of
+//! being split across `CommStats` counters, the device Gantt chart, and
+//! the perfmodel event engine.
+//!
+//! The pieces:
+//!
+//! * [`Tracer`] — a per-rank span recorder. The hot path is lock-free:
+//!   claiming a slot is one `fetch_add` into a pre-allocated ring, so
+//!   worker threads, the communicating master thread, and the device
+//!   simulator can all record into the same rank's stream concurrently.
+//!   A disabled tracer ([`Tracer::off`]) is a `None` and records nothing —
+//!   no buffer is ever allocated, asserted by tests through
+//!   [`trace_buffers_allocated`].
+//! * [`Span`] — one operation with **dual timestamps**: wall-clock
+//!   nanoseconds (measured against a shared [`Anchor`]) for spans recorded
+//!   by real threads, or the simulator's virtual clock for spans bridged
+//!   from the device timeline. [`Axis`] names which clock a span carries.
+//! * [`Category`] — the shared taxonomy (`compute.interior`, `mpi.send`,
+//!   `pcie.h2d`, …) every producer maps into, grouped into coarse
+//!   [`Resource`] classes for overlap analysis.
+//! * [`chrome`] — a Chrome-trace/Perfetto JSON exporter over a set of
+//!   per-rank traces.
+//! * [`metrics`] — busy-time, utilization, and pairwise
+//!   **overlap efficiency** (how much of the scarcer resource's busy time
+//!   ran concurrently with the other resource).
+//! * [`breakdown`] — the per-rank phase-breakdown table mirroring the
+//!   paper's "where does a step spend its time" analysis.
+
+pub mod breakdown;
+pub mod chrome;
+pub mod metrics;
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default span capacity per tracer (spans beyond it are counted, not
+/// recorded, so a runaway loop cannot grow memory without bound).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Trace slabs allocated process-wide since start. Steady-state tests
+/// assert this stays flat while tracing is off and grows only at
+/// per-rank tracer construction while it is on (the `CommStats`
+/// buffers-allocated pattern, applied to the tracing layer itself).
+static TRACE_BUFFERS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of trace slabs ever allocated by [`Tracer::on`].
+pub fn trace_buffers_allocated() -> u64 {
+    TRACE_BUFFERS_ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// The span taxonomy shared by every producer (simmpi, simgpu, the
+/// runners, the sweep engine) and every consumer (exporter, breakdown,
+/// metrics, the device Gantt chart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Interior stencil computation (CPU slabs or GPU interior kernels).
+    ComputeInterior,
+    /// CPU veneer/wall computation in the hybrid implementations.
+    ComputeVeneer,
+    /// Host-side packing of a send buffer.
+    Pack,
+    /// Host-side unpacking of a received buffer.
+    Unpack,
+    /// Point-to-point send call.
+    MpiSend,
+    /// A receive, from post to completion (the in-flight window).
+    MpiRecv,
+    /// The blocking portion of completing a receive.
+    MpiWait,
+    /// An allreduce collective.
+    MpiAllreduce,
+    /// A barrier.
+    MpiBarrier,
+    /// Host-to-device PCIe transfer.
+    PcieH2d,
+    /// Device-to-host PCIe transfer.
+    PcieD2h,
+    /// Host-side kernel-launch (issue) overhead.
+    KernelLaunch,
+}
+
+impl Category {
+    /// All categories, in taxonomy order.
+    pub const ALL: [Category; 12] = [
+        Category::ComputeInterior,
+        Category::ComputeVeneer,
+        Category::Pack,
+        Category::Unpack,
+        Category::MpiSend,
+        Category::MpiRecv,
+        Category::MpiWait,
+        Category::MpiAllreduce,
+        Category::MpiBarrier,
+        Category::PcieH2d,
+        Category::PcieD2h,
+        Category::KernelLaunch,
+    ];
+
+    /// The exporter-visible dotted name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::ComputeInterior => "compute.interior",
+            Category::ComputeVeneer => "compute.veneer",
+            Category::Pack => "pack",
+            Category::Unpack => "unpack",
+            Category::MpiSend => "mpi.send",
+            Category::MpiRecv => "mpi.recv",
+            Category::MpiWait => "mpi.wait",
+            Category::MpiAllreduce => "mpi.allreduce",
+            Category::MpiBarrier => "mpi.barrier",
+            Category::PcieH2d => "pcie.h2d",
+            Category::PcieD2h => "pcie.d2h",
+            Category::KernelLaunch => "kernel.launch",
+        }
+    }
+
+    /// The coarse resource class used for overlap analysis.
+    pub fn resource(self) -> Resource {
+        match self {
+            Category::ComputeInterior | Category::ComputeVeneer | Category::KernelLaunch => {
+                Resource::Compute
+            }
+            Category::Pack | Category::Unpack => Resource::Staging,
+            Category::MpiSend
+            | Category::MpiRecv
+            | Category::MpiWait
+            | Category::MpiAllreduce
+            | Category::MpiBarrier => Resource::Mpi,
+            Category::PcieH2d | Category::PcieD2h => Resource::Pcie,
+        }
+    }
+}
+
+/// Coarse resource classes for pairwise overlap analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Stencil computation (CPU or GPU) and kernel issue.
+    Compute,
+    /// Message passing, including in-flight receive windows.
+    Mpi,
+    /// PCIe copy engines.
+    Pcie,
+    /// Host-side pack/unpack staging.
+    Staging,
+}
+
+impl Resource {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Compute => "compute",
+            Resource::Mpi => "mpi",
+            Resource::Pcie => "pcie",
+            Resource::Staging => "staging",
+        }
+    }
+}
+
+/// Which clock a span's timestamps live on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Real wall-clock nanoseconds relative to the trace [`Anchor`].
+    Wall,
+    /// The simulator's virtual clock (seconds), as scheduled by the
+    /// device timeline.
+    Virtual,
+}
+
+/// One recorded operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Taxonomy category.
+    pub cat: Category,
+    /// Free-form label ("halo.pack", "stencil", …).
+    pub label: &'static str,
+    /// Recording thread slot (wall spans) or device stream (virtual).
+    pub tid: u32,
+    /// Which clock the timestamps below live on.
+    pub axis: Axis,
+    /// Wall start, nanoseconds since the anchor (wall spans only).
+    pub wall_start_ns: u64,
+    /// Wall end, nanoseconds since the anchor (wall spans only).
+    pub wall_end_ns: u64,
+    /// Virtual start, seconds (virtual spans only).
+    pub virt_start: f64,
+    /// Virtual end, seconds (virtual spans only).
+    pub virt_end: f64,
+}
+
+impl Span {
+    /// A wall-clock span.
+    pub fn wall(cat: Category, label: &'static str, tid: u32, start_ns: u64, end_ns: u64) -> Self {
+        Span {
+            cat,
+            label,
+            tid,
+            axis: Axis::Wall,
+            wall_start_ns: start_ns,
+            wall_end_ns: end_ns,
+            virt_start: 0.0,
+            virt_end: 0.0,
+        }
+    }
+
+    /// A virtual-clock span (bridged from the device timeline).
+    pub fn virtual_span(
+        cat: Category,
+        label: &'static str,
+        stream: u32,
+        start: f64,
+        end: f64,
+    ) -> Self {
+        Span {
+            cat,
+            label,
+            tid: stream,
+            axis: Axis::Virtual,
+            wall_start_ns: 0,
+            wall_end_ns: 0,
+            virt_start: start,
+            virt_end: end,
+        }
+    }
+
+    /// Span duration in seconds on its own axis.
+    pub fn seconds(&self) -> f64 {
+        match self.axis {
+            Axis::Wall => (self.wall_end_ns.saturating_sub(self.wall_start_ns)) as f64 * 1e-9,
+            Axis::Virtual => (self.virt_end - self.virt_start).max(0.0),
+        }
+    }
+
+    /// `(start, end)` in seconds on the given axis, if the span lives on
+    /// that axis.
+    pub fn interval_on(&self, axis: Axis) -> Option<(f64, f64)> {
+        if self.axis != axis {
+            return None;
+        }
+        Some(match axis {
+            Axis::Wall => (
+                self.wall_start_ns as f64 * 1e-9,
+                self.wall_end_ns as f64 * 1e-9,
+            ),
+            Axis::Virtual => (self.virt_start, self.virt_end),
+        })
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::wall(Category::ComputeInterior, "", 0, 0, 0)
+    }
+}
+
+/// One rank's collected span stream.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The recording rank.
+    pub rank: usize,
+    /// Recorded spans, in slot-claim order.
+    pub spans: Vec<Span>,
+    /// Spans that arrived after the slab filled (not recorded).
+    pub dropped: u64,
+}
+
+/// The shared wall-clock origin for a world of tracers, so per-rank
+/// timestamps are directly comparable in one exported trace file.
+#[derive(Debug, Clone, Copy)]
+pub struct Anchor(Instant);
+
+impl Anchor {
+    /// An anchor at the current instant.
+    pub fn now() -> Self {
+        Anchor(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since the anchor.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Anchor {
+    fn default() -> Self {
+        Anchor::now()
+    }
+}
+
+struct TracerInner {
+    rank: usize,
+    anchor: Anchor,
+    next: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Box<[UnsafeCell<Span>]>,
+}
+
+// SAFETY: each slot is written at most once, by the unique thread that
+// claimed its index from `next`; readers ([`Tracer::finish`]) only run
+// after every recording thread has quiesced (rank threads are joined by
+// the world, team threads by each parallel section), which establishes
+// the necessary happens-before via the joins.
+unsafe impl Sync for TracerInner {}
+unsafe impl Send for TracerInner {}
+
+/// A per-rank span recorder.
+///
+/// Cloning is cheap (an `Arc` bump); all clones record into the same
+/// slab, so a rank's main thread, its compute workers, and the substrate
+/// layers can share one stream. The disabled tracer is a `None`: every
+/// method is a no-op and nothing is allocated.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// The disabled tracer: records nothing, allocates nothing.
+    pub const fn off() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer for `rank`, timestamping against `anchor`, with
+    /// the default span capacity.
+    pub fn on(rank: usize, anchor: Anchor) -> Self {
+        Self::with_capacity(rank, anchor, DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer with an explicit span capacity.
+    pub fn with_capacity(rank: usize, anchor: Anchor, capacity: usize) -> Self {
+        TRACE_BUFFERS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
+        let slots: Vec<UnsafeCell<Span>> = (0..capacity.max(1))
+            .map(|_| UnsafeCell::new(Span::default()))
+            .collect();
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                rank,
+                anchor,
+                next: AtomicUsize::new(0),
+                dropped: AtomicU64::new(0),
+                slots: slots.into_boxed_slice(),
+            })),
+        }
+    }
+
+    /// Enabled when `enabled`, otherwise [`Tracer::off`].
+    pub fn enabled(enabled: bool, rank: usize, anchor: Anchor) -> Self {
+        if enabled {
+            Self::on(rank, anchor)
+        } else {
+            Self::off()
+        }
+    }
+
+    /// Whether this tracer records spans.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds since the anchor (0 when off) — for callers that
+    /// split a span across two call sites (e.g. irecv post → wait).
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.anchor.elapsed_ns(),
+            None => 0,
+        }
+    }
+
+    /// Open a wall-clock span; it records itself when the guard drops.
+    #[must_use = "the span ends when the guard drops"]
+    pub fn span(&self, cat: Category, label: &'static str) -> SpanGuard {
+        SpanGuard {
+            tracer: self.clone(),
+            cat,
+            label,
+            start_ns: self.now_ns(),
+        }
+    }
+
+    /// Record an explicit wall-clock span from timestamps obtained with
+    /// [`Tracer::now_ns`].
+    pub fn record_wall(&self, cat: Category, label: &'static str, start_ns: u64, end_ns: u64) {
+        if self.inner.is_some() {
+            self.push(Span::wall(cat, label, thread_slot(), start_ns, end_ns));
+        }
+    }
+
+    /// Record a virtual-clock span (device-timeline bridge).
+    pub fn record_virtual(
+        &self,
+        cat: Category,
+        label: &'static str,
+        stream: u32,
+        start: f64,
+        end: f64,
+    ) {
+        if self.inner.is_some() {
+            self.push(Span::virtual_span(cat, label, stream, start, end));
+        }
+    }
+
+    /// Append pre-built spans (e.g. `Timeline::to_trace_events`).
+    pub fn absorb(&self, spans: &[Span]) {
+        if self.inner.is_some() {
+            for s in spans {
+                self.push(*s);
+            }
+        }
+    }
+
+    fn push(&self, span: Span) {
+        let Some(inner) = &self.inner else { return };
+        let i = inner.next.fetch_add(1, Ordering::Relaxed);
+        if i < inner.slots.len() {
+            // SAFETY: index `i` was claimed exclusively by this thread's
+            // fetch_add; no other writer touches this slot, and readers
+            // wait for thread quiescence (see `TracerInner`'s Sync note).
+            unsafe {
+                *inner.slots[i].get() = span;
+            }
+        } else {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Collect the recorded spans. Call only after every thread that
+    /// recorded through this tracer (or a clone) has been joined.
+    pub fn finish(&self) -> Trace {
+        let Some(inner) = &self.inner else {
+            return Trace::default();
+        };
+        let n = inner.next.load(Ordering::Acquire).min(inner.slots.len());
+        let spans = (0..n)
+            .map(|i| {
+                // SAFETY: all writers have quiesced (caller contract).
+                unsafe { *inner.slots[i].get() }
+            })
+            .collect();
+        Trace {
+            rank: inner.rank,
+            spans,
+            dropped: inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("rank", &inner.rank)
+                .field("recorded", &inner.next.load(Ordering::Relaxed))
+                .finish(),
+            None => f.write_str("Tracer(off)"),
+        }
+    }
+}
+
+/// RAII guard for an open wall-clock span.
+pub struct SpanGuard {
+    tracer: Tracer,
+    cat: Category,
+    label: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.tracer.is_on() {
+            let end = self.tracer.now_ns();
+            self.tracer
+                .record_wall(self.cat, self.label, self.start_ns, end);
+        }
+    }
+}
+
+/// A small dense id for the current OS thread (Chrome-trace `tid`).
+pub fn thread_slot() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static SLOT: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SLOT.with(|s| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that assert on the process-wide slab counter
+    /// (they would race with each other under the parallel test runner).
+    fn counter_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn off_tracer_records_and_allocates_nothing() {
+        let _serial = counter_lock();
+        let before = trace_buffers_allocated();
+        let t = Tracer::off();
+        {
+            let _g = t.span(Category::MpiSend, "s");
+        }
+        t.record_wall(Category::Pack, "p", 0, 10);
+        t.record_virtual(Category::PcieH2d, "h", 0, 0.0, 1.0);
+        assert!(!t.is_on());
+        assert!(t.finish().spans.is_empty());
+        assert_eq!(trace_buffers_allocated(), before);
+    }
+
+    #[test]
+    fn on_tracer_allocates_exactly_one_slab() {
+        let _serial = counter_lock();
+        let before = trace_buffers_allocated();
+        let t = Tracer::on(3, Anchor::now());
+        for _ in 0..100 {
+            let _g = t.span(Category::ComputeInterior, "c");
+        }
+        assert_eq!(trace_buffers_allocated(), before + 1);
+        let trace = t.finish();
+        assert_eq!(trace.rank, 3);
+        assert_eq!(trace.spans.len(), 100);
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn spans_beyond_capacity_are_counted_not_recorded() {
+        let _serial = counter_lock();
+        let t = Tracer::with_capacity(0, Anchor::now(), 4);
+        for _ in 0..10 {
+            t.record_wall(Category::MpiSend, "s", 0, 1);
+        }
+        let trace = t.finish();
+        assert_eq!(trace.spans.len(), 4);
+        assert_eq!(trace.dropped, 6);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_under_capacity() {
+        let _serial = counter_lock();
+        let t = Tracer::with_capacity(0, Anchor::now(), 4096);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let _g = t.span(Category::ComputeInterior, "w");
+                    }
+                });
+            }
+        });
+        let trace = t.finish();
+        assert_eq!(trace.spans.len(), 800);
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn guard_records_monotone_wall_interval() {
+        let _serial = counter_lock();
+        let t = Tracer::on(0, Anchor::now());
+        {
+            let _g = t.span(Category::MpiWait, "w");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let trace = t.finish();
+        assert_eq!(trace.spans.len(), 1);
+        let s = trace.spans[0];
+        assert!(s.wall_end_ns > s.wall_start_ns);
+        assert!(s.seconds() >= 1e-3);
+        assert_eq!(s.axis, Axis::Wall);
+    }
+
+    #[test]
+    fn category_names_are_stable_and_unique() {
+        let mut names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Category::ALL.len());
+        assert_eq!(Category::PcieH2d.name(), "pcie.h2d");
+        assert_eq!(Category::ComputeVeneer.name(), "compute.veneer");
+    }
+
+    #[test]
+    fn virtual_span_interval_lives_on_virtual_axis() {
+        let s = Span::virtual_span(Category::PcieD2h, "d2h", 1, 0.5, 1.5);
+        assert_eq!(s.interval_on(Axis::Wall), None);
+        assert_eq!(s.interval_on(Axis::Virtual), Some((0.5, 1.5)));
+        assert_eq!(s.seconds(), 1.0);
+    }
+}

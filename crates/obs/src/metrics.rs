@@ -1,0 +1,216 @@
+//! Overlap-efficiency metrics over a span stream.
+//!
+//! The paper's overlap argument (Section V-E) is a statement about
+//! *concurrency between resources*: during an advection step, how much of
+//! the MPI in-flight time runs while compute is busy, and how much of the
+//! PCIe transfer time runs while the GPU computes. These functions reduce
+//! a [`Trace`] to exactly that: per-resource busy time (interval union),
+//! pairwise concurrent time (union intersection), and an efficiency ratio
+//! normalised by the scarcer resource.
+
+use crate::{Axis, Resource, Span, Trace};
+
+/// Merge a set of `(start, end)` intervals into a disjoint, sorted union.
+pub fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of a disjoint, sorted interval union.
+pub fn union_seconds(iv: &[(f64, f64)]) -> f64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Intersection of two disjoint, sorted interval unions.
+pub fn intersect(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let s = a[i].0.max(b[j].0);
+        let e = a[i].1.min(b[j].1);
+        if e > s {
+            out.push((s, e));
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// The busy-interval union of one resource on one axis.
+pub fn busy_intervals(spans: &[Span], resource: Resource, axis: Axis) -> Vec<(f64, f64)> {
+    merge_intervals(
+        spans
+            .iter()
+            .filter(|s| s.cat.resource() == resource)
+            .filter_map(|s| s.interval_on(axis))
+            .collect(),
+    )
+}
+
+/// Measured concurrency between two resources on one rank.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairOverlap {
+    /// Busy seconds of the first resource (union of its spans).
+    pub busy_a: f64,
+    /// Busy seconds of the second resource.
+    pub busy_b: f64,
+    /// Seconds during which both resources were busy simultaneously.
+    pub both: f64,
+    /// Span of the union of both resources (first start to last end).
+    pub makespan: f64,
+}
+
+impl PairOverlap {
+    /// Fraction of the scarcer resource's busy time that overlapped the
+    /// other resource: 1.0 means the cheaper activity was fully hidden,
+    /// 0.0 means strictly serialised. Zero when either side is idle.
+    pub fn efficiency(&self) -> f64 {
+        let scarcer = self.busy_a.min(self.busy_b);
+        if scarcer <= 0.0 {
+            0.0
+        } else {
+            self.both / scarcer
+        }
+    }
+
+    /// Combined busy-time / makespan utilisation of the pair
+    /// (Σ busy / makespan, >1.0 exactly when the resources overlap).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            (self.busy_a + self.busy_b) / self.makespan
+        }
+    }
+
+    /// Accumulate another rank's measurement into this one (makespan
+    /// takes the max — ranks run concurrently).
+    pub fn accumulate(&mut self, other: &PairOverlap) {
+        self.busy_a += other.busy_a;
+        self.busy_b += other.busy_b;
+        self.both += other.both;
+        self.makespan = self.makespan.max(other.makespan);
+    }
+}
+
+/// Measure the concurrency between two resources in one rank's trace, on
+/// the given axis.
+pub fn pair_overlap(trace: &Trace, a: Resource, b: Resource, axis: Axis) -> PairOverlap {
+    let ia = busy_intervals(&trace.spans, a, axis);
+    let ib = busy_intervals(&trace.spans, b, axis);
+    let both = union_seconds(&intersect(&ia, &ib));
+    let all = merge_intervals(ia.iter().chain(ib.iter()).copied().collect());
+    let makespan = match (all.first(), all.last()) {
+        (Some(first), Some(last)) => last.1 - first.0,
+        _ => 0.0,
+    };
+    PairOverlap {
+        busy_a: union_seconds(&ia),
+        busy_b: union_seconds(&ib),
+        both,
+        makespan,
+    }
+}
+
+/// Aggregate [`pair_overlap`] over a set of per-rank traces.
+pub fn pair_overlap_all(traces: &[Trace], a: Resource, b: Resource, axis: Axis) -> PairOverlap {
+    let mut total = PairOverlap::default();
+    for t in traces {
+        total.accumulate(&pair_overlap(t, a, b, axis));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Category;
+
+    #[test]
+    fn merge_handles_overlaps_and_zero_length() {
+        let m = merge_intervals(vec![(0.0, 1.0), (0.5, 2.0), (3.0, 3.0), (4.0, 5.0)]);
+        assert_eq!(m, vec![(0.0, 2.0), (4.0, 5.0)]);
+        assert!((union_seconds(&m) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersect_finds_common_windows() {
+        let a = vec![(0.0, 2.0), (4.0, 6.0)];
+        let b = vec![(1.0, 5.0)];
+        assert_eq!(intersect(&a, &b), vec![(1.0, 2.0), (4.0, 5.0)]);
+    }
+
+    fn trace_with(spans: Vec<Span>) -> Trace {
+        Trace {
+            rank: 0,
+            spans,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn serialized_resources_have_zero_efficiency() {
+        let t = trace_with(vec![
+            Span::wall(Category::MpiRecv, "r", 0, 0, 1_000),
+            Span::wall(Category::ComputeInterior, "c", 0, 1_000, 3_000),
+        ]);
+        let ov = pair_overlap(&t, Resource::Mpi, Resource::Compute, Axis::Wall);
+        assert_eq!(ov.both, 0.0);
+        assert_eq!(ov.efficiency(), 0.0);
+        assert!((ov.makespan - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_hidden_comm_has_unit_efficiency() {
+        let t = trace_with(vec![
+            Span::wall(Category::MpiRecv, "r", 0, 1_000, 2_000),
+            Span::wall(Category::ComputeInterior, "c", 1, 0, 4_000),
+        ]);
+        let ov = pair_overlap(&t, Resource::Mpi, Resource::Compute, Axis::Wall);
+        assert!((ov.efficiency() - 1.0).abs() < 1e-12);
+        assert!(ov.utilization() > 1.0);
+    }
+
+    #[test]
+    fn virtual_axis_ignores_wall_spans() {
+        let t = trace_with(vec![
+            Span::wall(Category::PcieH2d, "h", 0, 0, 1_000),
+            Span::virtual_span(Category::PcieH2d, "h", 0, 0.0, 1.0),
+            Span::virtual_span(Category::ComputeInterior, "k", 1, 0.5, 2.0),
+        ]);
+        let ov = pair_overlap(&t, Resource::Pcie, Resource::Compute, Axis::Virtual);
+        assert!((ov.busy_a - 1.0).abs() < 1e-12);
+        assert!((ov.both - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_busy_and_maxes_makespan() {
+        let mut a = PairOverlap {
+            busy_a: 1.0,
+            busy_b: 2.0,
+            both: 0.5,
+            makespan: 3.0,
+        };
+        a.accumulate(&PairOverlap {
+            busy_a: 1.0,
+            busy_b: 1.0,
+            both: 1.0,
+            makespan: 2.0,
+        });
+        assert_eq!(a.busy_a, 2.0);
+        assert_eq!(a.both, 1.5);
+        assert_eq!(a.makespan, 3.0);
+    }
+}

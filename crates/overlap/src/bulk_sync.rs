@@ -25,7 +25,9 @@ impl BulkSyncMpi {
     pub fn run_with_report(cfg: &RunConfig) -> (Field3, crate::runner::RunReport) {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
+        let anchor = obs::Anchor::now();
         let results = World::run(cfg.ntasks, move |comm| {
+            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
@@ -41,6 +43,7 @@ impl BulkSyncMpi {
                 exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 // Step 2: stencil over the whole interior, threaded by z-slab.
                 {
+                    let _span = tracer.span(obs::Category::ComputeInterior, "stencil");
                     let src = &cur;
                     let stencil = cfg.problem.stencil();
                     let slabs = new.z_slabs_mut(&cuts);
@@ -62,6 +65,7 @@ impl BulkSyncMpi {
                 assemble_global(cfg, decomp_ref, comm, &cur),
                 comm.stats(),
                 None,
+                crate::runner::finish_trace(&tracer),
             )
         });
         crate::runner::collect_report(results)

@@ -39,7 +39,9 @@ impl DeepHaloBulkSync {
         assert!(width >= 1, "halo width must be at least 1");
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
+        let anchor = obs::Anchor::now();
         let results = World::run(cfg.ntasks, move |comm| {
+            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
             let (nx, ny, nz) = sub.extent;
@@ -64,6 +66,7 @@ impl DeepHaloBulkSync {
             while remaining > 0 {
                 exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 let burst = (width as u64).min(remaining);
+                let _span = tracer.span(obs::Category::ComputeInterior, "burst");
                 for s in 0..burst {
                     // Extend the computed region beyond the interior by
                     // the halo depth still valid after this sub-step.
@@ -104,6 +107,7 @@ impl DeepHaloBulkSync {
                 assemble_global(cfg, decomp_ref, comm, &cur),
                 comm.stats(),
                 None,
+                crate::runner::finish_trace(&tracer),
             )
         });
         crate::runner::collect_report(results)

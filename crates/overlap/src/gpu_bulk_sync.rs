@@ -30,10 +30,13 @@ impl GpuBulkSyncMpi {
     pub fn run_with_report(cfg: &RunConfig, spec: &GpuSpec) -> (Field3, crate::runner::RunReport) {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
+        let anchor = obs::Anchor::now();
         let results = World::run(cfg.ntasks, move |comm| {
+            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
             let gpu = Gpu::new(spec.clone());
+            gpu.install_tracer(tracer.clone());
             gpu.set_constant(cfg.problem.stencil().a);
             // Host mirror: only its skin and halos are kept current.
             let mut host = local_initial_field(cfg, decomp_ref, rank);
@@ -93,10 +96,12 @@ impl GpuBulkSyncMpi {
             }
             comm.barrier();
             dev.interior_to_host(&gpu, dev.cur, &mut host);
+            tracer.absorb(&gpu.timeline().to_trace_events());
             (
                 assemble_global(cfg, decomp_ref, comm, &host),
                 comm.stats(),
                 Some(gpu.stats()),
+                crate::runner::finish_trace(&tracer),
             )
         });
         crate::runner::collect_report(results)

@@ -8,7 +8,7 @@
 //! best-case scenario the parallel GPU implementations are measured
 //! against (86 GF on Yona, Section V-E).
 
-use crate::runner::RunConfig;
+use crate::runner::{RunConfig, RunReport};
 use advect_core::field::Field3;
 use simgpu::{FieldDims, Gpu, GpuSpec, StencilLaunch, Stream};
 
@@ -21,6 +21,27 @@ impl GpuResident {
         assert_eq!(cfg.ntasks, 1, "IV-E runs on a single task");
         let gpu = Gpu::new(spec.clone());
         Self::run_on(cfg, &gpu)
+    }
+
+    /// Run on a fresh device, returning the final state plus a report
+    /// carrying the device counters (and, when traced, the kernel-launch
+    /// wall spans plus the device timeline bridged onto the virtual axis).
+    pub fn run_with_report(cfg: &RunConfig, spec: &GpuSpec) -> (Field3, RunReport) {
+        assert_eq!(cfg.ntasks, 1, "IV-E runs on a single task");
+        let gpu = Gpu::new(spec.clone());
+        let tracer = obs::Tracer::enabled(cfg.trace, 0, obs::Anchor::now());
+        gpu.install_tracer(tracer.clone());
+        let out = Self::run_on(cfg, &gpu);
+        tracer.absorb(&gpu.timeline().to_trace_events());
+        let mut report = RunReport {
+            comm: vec![simmpi::CommStats::default()],
+            gpu: vec![gpu.stats()],
+            ..RunReport::default()
+        };
+        if let Some(t) = crate::runner::finish_trace(&tracer) {
+            report.traces.push(t);
+        }
+        (out, report)
     }
 
     /// Run on an existing device (lets callers inspect device stats).

@@ -19,6 +19,7 @@
 
 use advect_core::field::Field3;
 use decomp::{Decomposition, ExchangePlan, PhasePlan};
+use obs::Category;
 use parking_lot::Mutex;
 use simmpi::{Comm, PooledBuf, RecvRequest};
 
@@ -112,20 +113,31 @@ pub fn send_phase(
     for (i, t) in phase.transfers.iter().enumerate() {
         let to = decomp.neighbor(rank, t.dim, t.send_dir);
         let mut buf = bufs.take(phase.dim, i, t.send_region.len(), comm);
-        field.pack(t.send_region, &mut buf);
+        {
+            let _span = comm.tracer().span(Category::Pack, "halo.pack");
+            field.pack(t.send_region, &mut buf);
+        }
         comm.send_pooled(to, t.send_tag, buf);
     }
 }
 
 /// Wait for a phase's receives, unpack them into the halo, and refill the
 /// staging slots with the received buffers.
-pub fn complete_phase(inflight: PhaseInFlight<'_>, field: &mut Field3, bufs: &HaloBuffers) {
+pub fn complete_phase(
+    inflight: PhaseInFlight<'_>,
+    field: &mut Field3,
+    comm: &Comm,
+    bufs: &HaloBuffers,
+) {
     let phase = inflight.phase;
     for (i, req) in inflight.recvs {
         let data = req.wait();
         let region = phase.transfers[i].recv_region;
         debug_assert_eq!(data.len(), region.len());
-        field.unpack(region, &data);
+        {
+            let _span = comm.tracer().span(Category::Unpack, "halo.unpack");
+            field.unpack(region, &data);
+        }
         bufs.deposit(phase.dim, i, data);
     }
 }
@@ -151,12 +163,18 @@ pub fn exchange_halos_shared(
         for (i, t) in phase.transfers.iter().enumerate() {
             let to = decomp.neighbor(rank, t.dim, t.send_dir);
             let mut buf = bufs.take(phase.dim, i, t.send_region.len(), comm);
-            field.pack_into(t.send_region, &mut buf);
+            {
+                let _span = comm.tracer().span(Category::Pack, "halo.pack");
+                field.pack_into(t.send_region, &mut buf);
+            }
             comm.send_pooled(to, t.send_tag, buf);
         }
         for (i, req) in recvs {
             let data = req.wait();
-            field.unpack(phase.transfers[i].recv_region, &data);
+            {
+                let _span = comm.tracer().span(Category::Unpack, "halo.unpack");
+                field.unpack(phase.transfers[i].recv_region, &data);
+            }
             bufs.deposit(phase.dim, i, data);
         }
     }
@@ -175,7 +193,7 @@ pub fn exchange_halos(
     for phase in &plan.phases {
         let inflight = post_phase_recvs(phase, decomp, rank, comm);
         send_phase(phase, field, decomp, rank, comm, bufs);
-        complete_phase(inflight, field, bufs);
+        complete_phase(inflight, field, comm, bufs);
     }
 }
 

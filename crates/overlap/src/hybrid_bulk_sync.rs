@@ -32,10 +32,13 @@ impl HybridBulkSync {
     pub fn run_with_report(cfg: &RunConfig, spec: &GpuSpec) -> (Field3, crate::runner::RunReport) {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
+        let anchor = obs::Anchor::now();
         let results = World::run(cfg.ntasks, move |comm| {
+            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
             let gpu = Gpu::new(spec.clone());
+            gpu.install_tracer(tracer.clone());
             gpu.set_constant(cfg.problem.stencil().a);
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
@@ -92,6 +95,7 @@ impl HybridBulkSync {
                 }
                 // ...while the CPU computes the outer box points.
                 {
+                    let _span = tracer.span(obs::Category::ComputeVeneer, "cpu.walls");
                     let src = &cur;
                     let writer = SharedField::new(&mut new);
                     let walls = &part.cpu_walls;
@@ -122,10 +126,12 @@ impl HybridBulkSync {
                     *final_host.at_mut(x, y, z) = data[dev.dims.idx(x, y, z)];
                 }
             }
+            tracer.absorb(&gpu.timeline().to_trace_events());
             (
                 assemble_global(cfg, decomp_ref, comm, &final_host),
                 comm.stats(),
                 Some(gpu.stats()),
+                crate::runner::finish_trace(&tracer),
             )
         });
         crate::runner::collect_report(results)

@@ -51,10 +51,13 @@ impl HybridOverlap {
         );
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
+        let anchor = obs::Anchor::now();
         let results = World::run(cfg.ntasks, move |comm| {
+            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
             let gpu = Gpu::new(spec.clone());
+            gpu.install_tracer(tracer.clone());
             gpu.set_constant(cfg.problem.stencil().a);
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
@@ -123,7 +126,10 @@ impl HybridOverlap {
                         for (i, t) in phase.transfers.iter().enumerate() {
                             let to = decomp_ref.neighbor(rank, t.dim, t.send_dir);
                             let mut buf = halo_bufs.take(dim, i, t.send_region.len(), comm);
-                            cur_shared.pack_into(t.send_region, &mut buf);
+                            {
+                                let _span = tracer.span(obs::Category::Pack, "halo.pack");
+                                cur_shared.pack_into(t.send_region, &mut buf);
+                            }
                             comm.send_pooled(to, t.send_tag, buf);
                         }
                         // Inner wall points of this dimension, overlapped
@@ -132,16 +138,22 @@ impl HybridOverlap {
                         let walls = [lo.intersect(&inner1), hi.intersect(&inner1)];
                         let cur_ref = &cur_shared;
                         let writer_ref = &writer;
-                        team.parallel(|ctx| {
-                            for (i, w) in walls.iter().enumerate() {
-                                if i % ctx.num_threads == ctx.tid && !w.is_empty() {
-                                    apply_stencil_cells(cur_ref, writer_ref, &stencil, *w);
+                        {
+                            let _span = tracer.span(obs::Category::ComputeVeneer, "walls.inner");
+                            team.parallel(|ctx| {
+                                for (i, w) in walls.iter().enumerate() {
+                                    if i % ctx.num_threads == ctx.tid && !w.is_empty() {
+                                        apply_stencil_cells(cur_ref, writer_ref, &stencil, *w);
+                                    }
                                 }
-                            }
-                        });
+                            });
+                        }
                         for (i, req) in recvs {
                             let data = req.wait();
-                            cur_shared.unpack(phase.transfers[i].recv_region, &data);
+                            {
+                                let _span = tracer.span(obs::Category::Unpack, "halo.unpack");
+                                cur_shared.unpack(phase.transfers[i].recv_region, &data);
+                            }
                             halo_bufs.deposit(dim, i, data);
                         }
                     }
@@ -157,6 +169,7 @@ impl HybridOverlap {
                     }
                     let cur_ref = &cur_shared;
                     let writer_ref = &writer;
+                    let _span = tracer.span(obs::Category::ComputeVeneer, "walls.outer");
                     team.parallel(|ctx| {
                         for (i, w) in outer_regions.iter().enumerate() {
                             if i % ctx.num_threads == ctx.tid {
@@ -184,10 +197,12 @@ impl HybridOverlap {
                     *final_host.at_mut(x, y, z) = data[dev.dims.idx(x, y, z)];
                 }
             }
+            tracer.absorb(&gpu.timeline().to_trace_events());
             (
                 assemble_global(cfg, decomp_ref, comm, &final_host),
                 comm.stats(),
                 Some(gpu.stats()),
+                crate::runner::finish_trace(&tracer),
             )
         });
         crate::runner::collect_report(results)

@@ -117,6 +117,22 @@ impl Impl {
         }
     }
 
+    /// Machine-friendly identifier (the module name): used for trace
+    /// file names and JSON keys.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Impl::SingleTask => "single_task",
+            Impl::BulkSync => "bulk_sync",
+            Impl::Nonblocking => "nonblocking",
+            Impl::ThreadOverlap => "thread_overlap",
+            Impl::GpuResident => "gpu_resident",
+            Impl::GpuBulkSync => "gpu_bulk_sync",
+            Impl::GpuStreams => "gpu_streams",
+            Impl::HybridBulkSync => "hybrid_bulk_sync",
+            Impl::HybridOverlap => "hybrid_overlap",
+        }
+    }
+
     /// Whether this implementation uses a GPU.
     pub fn uses_gpu(&self) -> bool {
         matches!(
@@ -148,6 +164,24 @@ impl Impl {
             Impl::GpuStreams => GpuStreamsMpi::run(cfg, gpu()),
             Impl::HybridBulkSync => HybridBulkSync::run(cfg, gpu()),
             Impl::HybridOverlap => HybridOverlap::run(cfg, gpu()),
+        }
+    }
+
+    /// Run the implementation, returning the final global state plus the
+    /// per-rank [`RunReport`] (stats, and span traces when
+    /// [`RunConfig::trace`] is set).
+    pub fn run_with_report(&self, cfg: &RunConfig, spec: Option<&GpuSpec>) -> (Field3, RunReport) {
+        let gpu = || spec.expect("GPU implementations need a GpuSpec");
+        match self {
+            Impl::SingleTask => SingleTask::run_with_report(cfg),
+            Impl::BulkSync => BulkSyncMpi::run_with_report(cfg),
+            Impl::Nonblocking => NonblockingMpi::run_with_report(cfg),
+            Impl::ThreadOverlap => ThreadOverlapMpi::run_with_report(cfg),
+            Impl::GpuResident => GpuResident::run_with_report(cfg, gpu()),
+            Impl::GpuBulkSync => GpuBulkSyncMpi::run_with_report(cfg, gpu()),
+            Impl::GpuStreams => GpuStreamsMpi::run_with_report(cfg, gpu()),
+            Impl::HybridBulkSync => HybridBulkSync::run_with_report(cfg, gpu()),
+            Impl::HybridOverlap => HybridOverlap::run_with_report(cfg, gpu()),
         }
     }
 }

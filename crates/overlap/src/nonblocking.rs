@@ -29,7 +29,9 @@ impl NonblockingMpi {
     pub fn run_with_report(cfg: &RunConfig) -> (Field3, crate::runner::RunReport) {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
+        let anchor = obs::Anchor::now();
         let results = World::run(cfg.ntasks, move |comm| {
+            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
@@ -50,16 +52,18 @@ impl NonblockingMpi {
                     let inflight = post_phase_recvs(&plan.phases[d], decomp_ref, rank, comm);
                     send_phase(&plan.phases[d], &cur, decomp_ref, rank, comm, &halo_bufs);
                     {
+                        let _span = tracer.span(obs::Category::ComputeInterior, "interior.third");
                         let src = &cur;
                         let slabs = new.z_slabs_mut(&cuts);
                         team.parallel_with(slabs, |_ctx, mut slab| {
                             apply_stencil_slab(src, &mut slab, &stencil, *third);
                         });
                     }
-                    complete_phase(inflight, &mut cur, &halo_bufs);
+                    complete_phase(inflight, &mut cur, comm, &halo_bufs);
                 }
                 // Boundary points after communication.
                 {
+                    let _span = tracer.span(obs::Category::ComputeInterior, "boundary");
                     let src = &cur;
                     let slabs = new.z_slabs_mut(&cuts);
                     team.parallel_with(slabs, |_ctx, mut slab| {
@@ -82,6 +86,7 @@ impl NonblockingMpi {
                 assemble_global(cfg, decomp_ref, comm, &cur),
                 comm.stats(),
                 None,
+                crate::runner::finish_trace(&tracer),
             )
         });
         crate::runner::collect_report(results)

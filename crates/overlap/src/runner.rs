@@ -20,6 +20,10 @@ pub struct RunConfig {
     pub block: (usize, usize),
     /// CPU box thickness for the hybrid implementations (Figure 1).
     pub thickness: usize,
+    /// Record per-rank span traces during the run ([`RunReport::traces`]).
+    /// Off by default: the substrates then trace into a static no-op sink
+    /// and allocate no trace buffers.
+    pub trace: bool,
 }
 
 impl RunConfig {
@@ -33,6 +37,7 @@ impl RunConfig {
             threads: 1,
             block: (32, 8),
             thickness: 2,
+            trace: false,
         }
     }
 
@@ -60,6 +65,12 @@ impl RunConfig {
         self
     }
 
+    /// Enable or disable span tracing for the run.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// The decomposition this configuration induces.
     pub fn decomposition(&self) -> Decomposition {
         let n = self.problem.n;
@@ -78,6 +89,10 @@ pub struct RunReport {
     pub comm: Vec<simmpi::CommStats>,
     /// Per-rank device counters (empty for CPU-only implementations).
     pub gpu: Vec<simgpu::GpuStats>,
+    /// Per-rank span traces (empty unless [`RunConfig::trace`]). Wall
+    /// spans cover the host's real timing; virtual spans carry the device
+    /// timeline bridged through `Timeline::to_trace_events`.
+    pub traces: Vec<obs::Trace>,
 }
 
 impl RunReport {
@@ -110,16 +125,69 @@ impl RunReport {
     pub fn total_pcie_points(&self) -> u64 {
         self.gpu.iter().map(|g| g.h2d_points + g.d2h_points).sum()
     }
+
+    /// Total nanoseconds ranks spent blocked waiting for messages.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.comm.iter().map(|c| c.wait_ns).sum()
+    }
+
+    /// Largest per-rank mailbox byte high-water mark — the peak volume
+    /// that was in flight toward any single rank.
+    pub fn peak_bytes_in_flight(&self) -> u64 {
+        self.comm
+            .iter()
+            .map(|c| c.peak_bytes_in_flight)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Measured MPI↔compute concurrency, aggregated over ranks on the
+    /// wall clock: how much of the in-flight/collective MPI time ran
+    /// while this rank's CPU compute spans were open. Requires
+    /// [`RunConfig::trace`]; zero otherwise.
+    pub fn mpi_compute_overlap(&self) -> obs::metrics::PairOverlap {
+        obs::metrics::pair_overlap_all(
+            &self.traces,
+            obs::Resource::Mpi,
+            obs::Resource::Compute,
+            obs::Axis::Wall,
+        )
+    }
+
+    /// Measured PCIe↔compute concurrency on the device's virtual clock
+    /// (the simulator executes eagerly in wall time; overlap between copy
+    /// engines and kernels only exists on the scheduled timeline).
+    /// Requires [`RunConfig::trace`]; zero otherwise.
+    pub fn pcie_compute_overlap(&self) -> obs::metrics::PairOverlap {
+        obs::metrics::pair_overlap_all(
+            &self.traces,
+            obs::Resource::Pcie,
+            obs::Resource::Compute,
+            obs::Axis::Virtual,
+        )
+    }
+
+    /// Per-rank busy seconds per category on the chosen axis.
+    pub fn phase_breakdown(&self, axis: obs::Axis) -> obs::breakdown::Breakdown {
+        obs::breakdown::phase_breakdown(&self.traces, axis)
+    }
 }
 
-/// Assemble per-rank `(global, comm, gpu)` results into `(Field3,
+/// What each rank closure hands back: the assembled global state (rank 0
+/// only), its comm counters, device counters, and span trace.
+pub(crate) type RankResult = (
+    Option<Field3>,
+    simmpi::CommStats,
+    Option<simgpu::GpuStats>,
+    Option<obs::Trace>,
+);
+
+/// Assemble per-rank `(global, comm, gpu, trace)` results into `(Field3,
 /// RunReport)` — shared tail of every implementation's `run_with_report`.
-pub(crate) fn collect_report(
-    results: Vec<(Option<Field3>, simmpi::CommStats, Option<simgpu::GpuStats>)>,
-) -> (Field3, RunReport) {
+pub(crate) fn collect_report(results: Vec<RankResult>) -> (Field3, RunReport) {
     let mut report = RunReport::default();
     let mut global = None;
-    for (g, c, d) in results {
+    for (g, c, d, t) in results {
         if let Some(g) = g {
             global = Some(g);
         }
@@ -127,8 +195,27 @@ pub(crate) fn collect_report(
         if let Some(d) = d {
             report.gpu.push(d);
         }
+        if let Some(t) = t {
+            report.traces.push(t);
+        }
     }
     (global.expect("rank 0 assembles the global state"), report)
+}
+
+/// Per-rank tracer setup shared by every runner: build the rank's
+/// recorder against the run's shared anchor (the no-op sink when
+/// [`RunConfig::trace`] is off) and install it into the communicator so
+/// the `mpi.*`/pack/unpack layers record through it.
+pub(crate) fn rank_tracer(cfg: &RunConfig, comm: &Comm, anchor: obs::Anchor) -> obs::Tracer {
+    let tracer = obs::Tracer::enabled(cfg.trace, comm.rank(), anchor);
+    comm.install_tracer(tracer.clone());
+    tracer
+}
+
+/// The rank's contribution to [`RunReport::traces`]: `Some` only when the
+/// run was traced. Call after all rank-local threads have quiesced.
+pub(crate) fn finish_trace(tracer: &obs::Tracer) -> Option<obs::Trace> {
+    tracer.is_on().then(|| tracer.finish())
 }
 
 /// A rank's local field, allocated and filled from the global initial

@@ -1,6 +1,6 @@
 //! Implementation IV-A: single task, multiple threads.
 
-use crate::runner::RunConfig;
+use crate::runner::{RunConfig, RunReport};
 use advect_core::field::Field3;
 use advect_core::stepper::ThreadedStepper;
 
@@ -11,9 +11,27 @@ pub struct SingleTask;
 impl SingleTask {
     /// Run the configured number of steps and return the final state.
     pub fn run(cfg: &RunConfig) -> Field3 {
+        Self::run_with_report(cfg).0
+    }
+
+    /// Run, returning the final state plus a report. There is no
+    /// communication and no device; when traced, each step contributes
+    /// one `compute.interior` span covering the threaded step.
+    pub fn run_with_report(cfg: &RunConfig) -> (Field3, RunReport) {
         assert_eq!(cfg.ntasks, 1, "IV-A is a single-task implementation");
+        let tracer = obs::Tracer::enabled(cfg.trace, 0, obs::Anchor::now());
         let mut stepper = ThreadedStepper::new(cfg.problem, cfg.threads);
-        stepper.run(cfg.steps);
-        stepper.state().clone()
+        for _ in 0..cfg.steps {
+            let _span = tracer.span(obs::Category::ComputeInterior, "step");
+            stepper.step();
+        }
+        let mut report = RunReport {
+            comm: vec![simmpi::CommStats::default()],
+            ..RunReport::default()
+        };
+        if let Some(t) = crate::runner::finish_trace(&tracer) {
+            report.traces.push(t);
+        }
+        (stepper.state().clone(), report)
     }
 }

@@ -37,7 +37,9 @@ impl ThreadOverlapMpi {
     pub fn run_with_report(cfg: &RunConfig) -> (Field3, crate::runner::RunReport) {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
+        let anchor = obs::Anchor::now();
         let results = World::run(cfg.ntasks, move |comm| {
+            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
@@ -58,6 +60,7 @@ impl ThreadOverlapMpi {
                     let new_shared = SharedField::new(&mut new);
                     let cur_ref = &cur_shared;
                     let new_ref = &new_shared;
+                    let tracer_ref = &tracer;
                     team.parallel(|ctx| {
                         if ctx.is_master() {
                             // Master: communicate, then join the guided loop.
@@ -65,13 +68,17 @@ impl ThreadOverlapMpi {
                                 cur_ref, &plan, decomp_ref, rank, comm, &halo_bufs,
                             );
                         }
-                        while let Some(chunk) = queue.next_chunk() {
-                            let region = Range3::new(
-                                core.x,
-                                core.y,
-                                (core.z.0 + chunk.start as i64, core.z.0 + chunk.end as i64),
-                            );
-                            apply_stencil_cells(cur_ref, new_ref, &stencil, region);
+                        {
+                            let _span =
+                                tracer_ref.span(obs::Category::ComputeInterior, "interior.guided");
+                            while let Some(chunk) = queue.next_chunk() {
+                                let region = Range3::new(
+                                    core.x,
+                                    core.y,
+                                    (core.z.0 + chunk.start as i64, core.z.0 + chunk.end as i64),
+                                );
+                                apply_stencil_cells(cur_ref, new_ref, &stencil, region);
+                            }
                         }
                         // Communication (master reached here) is complete
                         // before any thread computes boundary points.
@@ -97,6 +104,7 @@ impl ThreadOverlapMpi {
                 assemble_global(cfg, decomp_ref, comm, &cur),
                 comm.stats(),
                 None,
+                crate::runner::finish_trace(&tracer),
             )
         });
         crate::runner::collect_report(results)

@@ -5,7 +5,9 @@ use crate::spec::GpuSpec;
 use crate::timeline::{EngineKind as TlEngine, Timeline, TimelineEntry};
 use crate::timing;
 use advect_core::field::Range3;
+use obs::{Category, Tracer};
 use parking_lot::Mutex;
+use std::sync::OnceLock;
 
 /// Handle to a device (global-memory) buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +99,7 @@ pub struct Gpu {
     spec: GpuSpec,
     inner: Mutex<Inner>,
     hazard_check: bool,
+    tracer: OnceLock<Tracer>,
 }
 
 impl Gpu {
@@ -118,7 +121,23 @@ impl Gpu {
                 stats: GpuStats::default(),
             }),
             hazard_check: true,
+            tracer: OnceLock::new(),
         }
+    }
+
+    /// Install a span recorder: transfers record wall-clock `pcie.*`
+    /// spans and kernel launches record `kernel.launch` spans (the
+    /// host-side issue cost; the *scheduled* device time lives on the
+    /// virtual axis, bridged via `Timeline::to_trace_events`). Idempotent;
+    /// without an install, calls trace into the static no-op sink.
+    pub fn install_tracer(&self, tracer: Tracer) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The device's span recorder (no-op sink when none is installed).
+    pub fn tracer(&self) -> &Tracer {
+        static OFF: Tracer = Tracer::off();
+        self.tracer.get().unwrap_or(&OFF)
     }
 
     /// Disable the cross-stream hazard checker (for experiments that
@@ -235,6 +254,7 @@ impl Gpu {
 
     /// Asynchronous host→device copy on `stream`.
     pub fn h2d(&self, stream: Stream, host: &[f64], dst: GpuBuffer, dst_off: usize) {
+        let _span = self.tracer().span(Category::PcieH2d, "h2d");
         let mut g = self.inner.lock();
         let dur = timing::pcie_time(&self.spec, host.len());
         self.schedule(&mut g, stream.0, EngineKind::CopyH2D, dur, "h2d");
@@ -246,6 +266,7 @@ impl Gpu {
 
     /// Asynchronous device→host copy on `stream`.
     pub fn d2h(&self, stream: Stream, src: GpuBuffer, src_off: usize, host: &mut [f64]) {
+        let _span = self.tracer().span(Category::PcieD2h, "d2h");
         let mut g = self.inner.lock();
         self.check_read(&g, stream.0, src, "d2h");
         let dur = timing::pcie_time(&self.spec, host.len());
@@ -282,6 +303,7 @@ impl Gpu {
             self.spec.max_threads_per_block,
             self.spec.name
         );
+        let _span = self.tracer().span(Category::KernelLaunch, "stencil");
         let mut g = self.inner.lock();
         let coeffs = g
             .constant
@@ -308,6 +330,7 @@ impl Gpu {
         out: GpuBuffer,
         out_off: usize,
     ) {
+        let _span = self.tracer().span(Category::KernelLaunch, "pack");
         let mut g = self.inner.lock();
         self.check_read(&g, stream.0, field, "pack");
         let dur = timing::pack_kernel_time(&self.spec, region.len());
@@ -334,6 +357,7 @@ impl Gpu {
         input: GpuBuffer,
         in_off: usize,
     ) {
+        let _span = self.tracer().span(Category::KernelLaunch, "unpack");
         let mut g = self.inner.lock();
         self.check_read(&g, stream.0, input, "unpack");
         let dur = timing::pack_kernel_time(&self.spec, region.len());

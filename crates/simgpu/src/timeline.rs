@@ -25,12 +25,13 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Display name.
+    /// Display name — the same names the `obs` Chrome-trace exporter
+    /// uses, so the ASCII Gantt and an exported trace read identically.
     pub fn name(&self) -> &'static str {
         match self {
             EngineKind::Compute => "compute",
-            EngineKind::H2D => "h2d",
-            EngineKind::D2H => "d2h",
+            EngineKind::H2D => "pcie.h2d",
+            EngineKind::D2H => "pcie.d2h",
         }
     }
 }
@@ -96,6 +97,30 @@ impl Timeline {
             .map(|&e| self.busy(e))
             .sum();
         busy / wall
+    }
+
+    /// Bridge the timeline into `obs` virtual-axis spans so the device
+    /// schedule appears in the same Chrome-trace file as CPU/MPI spans
+    /// (under the virtual-clock process, one track per stream). Copy
+    /// engines map to the `pcie.*` categories; compute-engine entries map
+    /// by label — pack/unpack kernels to their staging categories,
+    /// everything else to `compute.interior`.
+    pub fn to_trace_events(&self) -> Vec<obs::Span> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let cat = match e.engine {
+                    EngineKind::H2D => obs::Category::PcieH2d,
+                    EngineKind::D2H => obs::Category::PcieD2h,
+                    EngineKind::Compute => match e.label {
+                        "pack" => obs::Category::Pack,
+                        "unpack" => obs::Category::Unpack,
+                        _ => obs::Category::ComputeInterior,
+                    },
+                };
+                obs::Span::virtual_span(cat, e.label, e.stream as u32, e.start, e.end)
+            })
+            .collect()
     }
 
     /// ASCII Gantt chart, one row per engine, `width` columns spanning
@@ -183,6 +208,62 @@ mod tests {
         assert!(g.contains("h2d"));
         assert!(g.contains("concurrency"));
         assert!(g.lines().next().unwrap().contains('#'));
+    }
+
+    #[test]
+    fn trace_bridge_maps_engines_and_labels_to_categories() {
+        let t = Timeline {
+            entries: vec![
+                TimelineEntry {
+                    label: "stencil",
+                    stream: 0,
+                    engine: EngineKind::Compute,
+                    start: 0.0,
+                    end: 1.0,
+                },
+                TimelineEntry {
+                    label: "pack",
+                    stream: 1,
+                    engine: EngineKind::Compute,
+                    start: 1.0,
+                    end: 1.1,
+                },
+                TimelineEntry {
+                    label: "h2d",
+                    stream: 1,
+                    engine: EngineKind::H2D,
+                    start: 1.1,
+                    end: 1.3,
+                },
+                TimelineEntry {
+                    label: "d2h",
+                    stream: 2,
+                    engine: EngineKind::D2H,
+                    start: 1.3,
+                    end: 1.5,
+                },
+            ],
+        };
+        let spans = t.to_trace_events();
+        let cats: Vec<obs::Category> = spans.iter().map(|s| s.cat).collect();
+        assert_eq!(
+            cats,
+            vec![
+                obs::Category::ComputeInterior,
+                obs::Category::Pack,
+                obs::Category::PcieH2d,
+                obs::Category::PcieD2h,
+            ]
+        );
+        for s in &spans {
+            assert_eq!(s.axis, obs::Axis::Virtual);
+        }
+        assert_eq!(spans[1].tid, 1);
+        assert_eq!(spans[3].virt_end, 1.5);
+        // Gantt rows carry the exporter's names.
+        let g = t.render_gantt(40);
+        assert!(g.contains("pcie.h2d"));
+        assert!(g.contains("pcie.d2h"));
     }
 
     #[test]

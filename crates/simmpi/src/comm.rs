@@ -3,8 +3,10 @@
 use crate::collectives::{Barrier, ReduceSlots, ScalarSlots};
 use crate::mailbox::{Mailbox, Message};
 use crate::pool::{BufferPool, PooledBuf};
+use obs::{Category, Tracer};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Message tag (like MPI's integer tags).
 pub type Tag = u64;
@@ -39,6 +41,15 @@ pub struct CommStats {
     /// slots). A warmed-up hot loop shows this growing while
     /// `buffers_allocated` stays flat.
     pub buffers_recycled: u64,
+    /// Nanoseconds this rank spent blocked waiting for a matching message
+    /// (inside `recv` or a `RecvRequest::wait`). Distinguishes "the wire
+    /// was slow" from "the receiver arrived late": an overlap
+    /// implementation drives this toward zero by computing while the
+    /// message is in flight.
+    pub wait_ns: u64,
+    /// High-water mark of bytes queued in this rank's mailbox — the peak
+    /// volume that was in flight toward this rank at any instant.
+    pub peak_bytes_in_flight: u64,
 }
 
 /// A rank's handle to the world: MPI's communicator analogue.
@@ -46,6 +57,7 @@ pub struct Comm {
     rank: usize,
     inner: Arc<WorldInner>,
     stats: Mutex<CommStats>,
+    tracer: OnceLock<Tracer>,
 }
 
 impl Comm {
@@ -54,7 +66,22 @@ impl Comm {
             rank,
             inner,
             stats: Mutex::new(CommStats::default()),
+            tracer: OnceLock::new(),
         }
+    }
+
+    /// Install this rank's span recorder; every subsequent communication
+    /// call records `mpi.*` spans through it. Idempotent (first install
+    /// wins). Without an install, calls trace into the static no-op sink.
+    pub fn install_tracer(&self, tracer: Tracer) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The rank's span recorder (the no-op sink when none is installed —
+    /// one relaxed atomic load on this path, nothing else).
+    pub fn tracer(&self) -> &Tracer {
+        static OFF: Tracer = Tracer::off();
+        self.tracer.get().unwrap_or(&OFF)
     }
 
     /// This rank's id in `0..size`.
@@ -67,9 +94,12 @@ impl Comm {
         self.inner.size
     }
 
-    /// Traffic counters accumulated so far.
+    /// Traffic counters accumulated so far. `peak_bytes_in_flight` is
+    /// sampled from the mailbox high-water mark at call time.
     pub fn stats(&self) -> CommStats {
-        *self.stats.lock()
+        let mut s = *self.stats.lock();
+        s.peak_bytes_in_flight = self.inner.mailboxes[self.rank].peak_bytes() as u64;
+        s
     }
 
     fn check_rank(&self, rank: usize, what: &str) {
@@ -106,6 +136,7 @@ impl Comm {
     /// mailbox and the call returns (like `MPI_Bsend`).
     pub fn send(&self, dest: usize, tag: Tag, data: Vec<f64>) {
         self.check_rank(dest, "destination");
+        let _span = self.tracer().span(Category::MpiSend, "send");
         {
             let mut s = self.stats.lock();
             s.messages_sent += 1;
@@ -137,10 +168,16 @@ impl Comm {
     /// lease: dropping it recycles the buffer into the world's pool.
     pub fn recv(&self, src: usize, tag: Tag) -> PooledBuf {
         self.check_rank(src, "source");
+        let tracer = self.tracer();
+        let start_ns = tracer.now_ns();
+        let t0 = Instant::now();
         let data = self.inner.mailboxes[self.rank].take_matching(src, tag);
+        let waited = t0.elapsed().as_nanos() as u64;
+        tracer.record_wall(Category::MpiRecv, "recv", start_ns, tracer.now_ns());
         let mut s = self.stats.lock();
         s.messages_received += 1;
         s.values_received += data.len() as u64;
+        s.wait_ns += waited;
         drop(s);
         PooledBuf::attach(data, self.inner.pool.clone())
     }
@@ -153,6 +190,7 @@ impl Comm {
             comm: self,
             src,
             tag,
+            posted_ns: self.tracer().now_ns(),
         }
     }
 
@@ -174,17 +212,20 @@ impl Comm {
 
     /// Block until every rank reaches the barrier.
     pub fn barrier(&self) {
+        let _span = self.tracer().span(Category::MpiBarrier, "barrier");
         self.stats.lock().barriers += 1;
         self.inner.barrier.wait();
     }
 
     /// Global sum of one value per rank (allocation-free: scalar slots).
     pub fn allreduce_sum(&self, value: f64) -> f64 {
+        let _span = self.tracer().span(Category::MpiAllreduce, "sum");
         self.inner.scalar.exchange(self.rank, value).0
     }
 
     /// Global maximum of one value per rank (allocation-free).
     pub fn allreduce_max(&self, value: f64) -> f64 {
+        let _span = self.tracer().span(Category::MpiAllreduce, "max");
         self.inner.scalar.exchange(self.rank, value).1
     }
 
@@ -212,16 +253,32 @@ pub struct RecvRequest<'a> {
     comm: &'a Comm,
     src: usize,
     tag: Tag,
+    /// Trace timestamp of the `irecv` post — the start of the in-flight
+    /// window recorded as an `mpi.recv` span at completion.
+    posted_ns: u64,
 }
 
 impl RecvRequest<'_> {
     /// Block until the matching message arrives; returns its payload as a
     /// pool lease (recycles into the world's pool on drop).
+    ///
+    /// Records two spans: `mpi.wait` for the blocking portion of this
+    /// call, and `mpi.recv` for the whole in-flight window since the
+    /// `irecv` post — so overlap metrics see exactly the interval an
+    /// implementation could have hidden behind computation.
     pub fn wait(self) -> PooledBuf {
+        let tracer = self.comm.tracer();
+        let wait_start_ns = tracer.now_ns();
+        let t0 = Instant::now();
         let data = self.comm.inner.mailboxes[self.comm.rank].take_matching(self.src, self.tag);
+        let waited = t0.elapsed().as_nanos() as u64;
+        let end_ns = tracer.now_ns();
+        tracer.record_wall(Category::MpiWait, "wait", wait_start_ns, end_ns);
+        tracer.record_wall(Category::MpiRecv, "inflight", self.posted_ns, end_ns);
         let mut s = self.comm.stats.lock();
         s.messages_received += 1;
         s.values_received += data.len() as u64;
+        s.wait_ns += waited;
         drop(s);
         PooledBuf::attach(data, self.comm.inner.pool.clone())
     }

@@ -31,7 +31,16 @@
 //! performance-layer concern, modeled in the `perfmodel` crate.
 //!
 //! Per-rank traffic statistics ([`CommStats`]) are recorded so tests and
-//! examples can assert on message counts and volumes.
+//! examples can assert on message counts and volumes — including blocked
+//! time ([`CommStats::wait_ns`]) and the mailbox byte high-water mark
+//! ([`CommStats::peak_bytes_in_flight`]).
+//!
+//! Each [`Comm`] optionally carries an [`obs::Tracer`]
+//! ([`Comm::install_tracer`]): every send, receive, wait, barrier, and
+//! allreduce then records an `mpi.*` span, with nonblocking receives
+//! reporting their full in-flight window (post → completion) so overlap
+//! metrics can measure how much of it was hidden behind computation. With
+//! no tracer installed the calls hit a static no-op sink.
 
 mod collectives;
 mod comm;
@@ -272,6 +281,105 @@ mod tests {
             assert_eq!(v.len(), 128);
             assert_eq!(comm.pooled_buffers(), 0);
         });
+    }
+
+    #[test]
+    fn wait_ns_counts_blocked_receives() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                comm.send(1, 0, vec![1.0]);
+                comm.stats()
+            } else {
+                let req = comm.irecv(0, 0);
+                req.wait();
+                comm.stats()
+            }
+        });
+        // The receiver blocked for ~5ms waiting for the late sender.
+        assert!(
+            results[1].wait_ns >= 2_000_000,
+            "receiver wait_ns = {}",
+            results[1].wait_ns
+        );
+    }
+
+    #[test]
+    fn peak_bytes_in_flight_tracks_mailbox_high_water() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Two messages queued simultaneously: 300 values = 2400 B.
+                comm.send(1, 0, vec![0.0; 100]);
+                comm.send(1, 1, vec![0.0; 200]);
+                comm.barrier();
+            } else {
+                comm.barrier(); // both messages are queued before any recv
+                comm.recv(0, 0);
+                comm.recv(0, 1);
+            }
+            comm.stats()
+        });
+        assert_eq!(results[1].peak_bytes_in_flight, 2400);
+        assert_eq!(results[0].peak_bytes_in_flight, 0);
+    }
+
+    /// Serialises the two tests that assert on the process-wide trace
+    /// slab counter (parallel test threads would race it).
+    fn trace_counter_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn installed_tracer_records_mpi_spans() {
+        use obs::{Anchor, Category, Tracer};
+        let _serial = trace_counter_lock();
+        let anchor = Anchor::now();
+        let results = World::run(2, move |comm| {
+            comm.install_tracer(Tracer::on(comm.rank(), anchor));
+            let req = comm.irecv(1 - comm.rank(), 0);
+            comm.send(1 - comm.rank(), 0, vec![1.0]);
+            req.wait();
+            comm.barrier();
+            comm.allreduce_sum(1.0);
+            comm.tracer().finish()
+        });
+        for trace in &results {
+            let count = |cat: Category| trace.spans.iter().filter(|s| s.cat == cat).count();
+            assert_eq!(count(Category::MpiSend), 1);
+            assert_eq!(count(Category::MpiRecv), 1);
+            assert_eq!(count(Category::MpiWait), 1);
+            assert_eq!(count(Category::MpiBarrier), 1);
+            assert_eq!(count(Category::MpiAllreduce), 1);
+            // The in-flight recv window starts at the irecv post, so it
+            // brackets the wait span.
+            let recv = trace
+                .spans
+                .iter()
+                .find(|s| s.cat == Category::MpiRecv)
+                .unwrap();
+            let wait = trace
+                .spans
+                .iter()
+                .find(|s| s.cat == Category::MpiWait)
+                .unwrap();
+            assert!(recv.wall_start_ns <= wait.wall_start_ns);
+            assert_eq!(recv.wall_end_ns, wait.wall_end_ns);
+        }
+    }
+
+    #[test]
+    fn untraced_comm_allocates_no_trace_buffers() {
+        let _serial = trace_counter_lock();
+        let before = obs::trace_buffers_allocated();
+        World::run(2, |comm| {
+            let req = comm.irecv(1 - comm.rank(), 0);
+            comm.send(1 - comm.rank(), 0, vec![1.0; 64]);
+            req.wait();
+            comm.barrier();
+            assert!(comm.tracer().finish().spans.is_empty());
+        });
+        assert_eq!(obs::trace_buffers_allocated(), before);
     }
 
     #[test]

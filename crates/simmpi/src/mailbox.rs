@@ -23,6 +23,11 @@ struct Channels {
     queues: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
     /// Messages queued across all channels.
     total: usize,
+    /// Payload bytes currently queued across all channels.
+    bytes: usize,
+    /// High-water mark of `bytes` — the peak volume that was in flight
+    /// toward this rank at any instant.
+    peak_bytes: usize,
 }
 
 /// A rank's incoming-message queue.
@@ -40,11 +45,14 @@ impl Mailbox {
     /// Deposit a message and wake any waiting receiver.
     pub fn deliver(&self, msg: Message) {
         let mut c = self.channels.lock();
+        let bytes = msg.data.len() * std::mem::size_of::<f64>();
         c.queues
             .entry((msg.src, msg.tag))
             .or_default()
             .push_back(msg.data);
         c.total += 1;
+        c.bytes += bytes;
+        c.peak_bytes = c.peak_bytes.max(c.bytes);
         self.arrived.notify_all();
     }
 
@@ -55,6 +63,7 @@ impl Mailbox {
         loop {
             if let Some(data) = c.queues.get_mut(&(src, tag)).and_then(|q| q.pop_front()) {
                 c.total -= 1;
+                c.bytes -= data.len() * std::mem::size_of::<f64>();
                 return data;
             }
             self.arrived.wait(&mut c);
@@ -73,5 +82,10 @@ impl Mailbox {
     /// Number of messages currently queued (for diagnostics).
     pub fn len(&self) -> usize {
         self.channels.lock().total
+    }
+
+    /// High-water mark of payload bytes that were queued at once.
+    pub fn peak_bytes(&self) -> usize {
+        self.channels.lock().peak_bytes
     }
 }

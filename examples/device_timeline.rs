@@ -4,6 +4,11 @@
 //! the interior kernel (IV-I style). The Gantt charts show the copy
 //! engines sliding under the compute engine as the schedule improves.
 //!
+//! The ASCII Gantt and the span tracer share one category taxonomy:
+//! `Timeline::to_trace_events()` bridges the device timeline into
+//! `obs` spans (`kernel.launch`, `pcie.h2d`, `pcie.d2h`), so the last
+//! schedule is also written out as Chrome-trace JSON for Perfetto.
+//!
 //! ```text
 //! cargo run --release --example device_timeline
 //! ```
@@ -28,7 +33,7 @@ fn main() {
     let ring = 500_000usize;
     let mut host = vec![0.0f64; ring];
 
-    let mut run = |mode: &str| -> (f64, f64, String) {
+    let mut run = |mode: &str| -> (f64, f64, String, Vec<obs::Span>) {
         let gpu = Gpu::new(GpuSpec::tesla_c2050());
         gpu.set_constant(stencil.a);
         let cur = gpu.alloc(dims.len());
@@ -70,16 +75,22 @@ fn main() {
         }
         let t = gpu.sync_device();
         let tl = gpu.timeline();
-        (t, tl.concurrency(), tl.render_gantt(56))
+        (
+            t,
+            tl.concurrency(),
+            tl.render_gantt(56),
+            tl.to_trace_events(),
+        )
     };
 
     let mut base = 0.0;
+    let mut last_spans = Vec::new();
     for mode in [
         "bulk-sync (IV-F style)",
         "streams (IV-G style)",
         "full overlap (IV-I style)",
     ] {
-        let (t, conc, gantt) = run(mode);
+        let (t, conc, gantt, spans) = run(mode);
         if base == 0.0 {
             base = t;
         }
@@ -90,5 +101,18 @@ fn main() {
             t * 1e3,
             base / t
         );
+        last_spans = spans;
     }
+
+    // The same timeline, through the tracer bridge: the Gantt rows above
+    // become `kernel.launch` / `pcie.h2d` / `pcie.d2h` spans on the
+    // virtual axis of a Chrome trace (process "rank 0 (virtual)").
+    let trace = obs::Trace {
+        rank: 0,
+        spans: last_spans,
+        dropped: 0,
+    };
+    let path = "device_timeline_trace.json";
+    std::fs::write(path, obs::chrome::chrome_trace(&[trace])).expect("write trace");
+    println!("wrote {path} (full-overlap schedule) - load it at ui.perfetto.dev");
 }

@@ -1,0 +1,72 @@
+//! Explore the span traces behind the paper's overlap story: run the
+//! bulk-synchronous baseline (IV-B) and the full-overlap hybrid (IV-I)
+//! with tracing on, print each run's phase breakdown and overlap
+//! efficiencies, and export the hybrid's trace as Chrome-trace JSON for
+//! [ui.perfetto.dev](https://ui.perfetto.dev).
+//!
+//! ```text
+//! cargo run --release --example trace_explorer
+//! ```
+
+use advection_overlap::prelude::*;
+use obs::Axis;
+
+fn main() {
+    let spec = GpuSpec::tesla_c2050();
+    // Thickness 1 keeps the hybrid's GPU deep interior non-empty on the
+    // 4-task subdomains, so there is an interior kernel for the PCIe
+    // copies to overlap with.
+    let cfg = RunConfig::new(AdvectionProblem::general_case(12), 3)
+        .tasks(4)
+        .with_threads(2)
+        .with_block((8, 8))
+        .with_thickness(1)
+        .with_trace(true);
+
+    let (_, bulk) = Impl::BulkSync.run_with_report(&cfg, None);
+    let (_, hybrid) = Impl::HybridOverlap.run_with_report(&cfg, Some(&spec));
+
+    println!("== IV-B bulk-synchronous MPI: wall-clock phase breakdown ==");
+    println!("{}", bulk.phase_breakdown(Axis::Wall).render_markdown());
+    let b = bulk.mpi_compute_overlap();
+    println!(
+        "mpi<->compute: busy(mpi) {:.1} us, busy(compute) {:.1} us, \
+         overlapped {:.1} us -> efficiency {:.3} (exactly 0: nothing hides)\n",
+        b.busy_a * 1e6,
+        b.busy_b * 1e6,
+        b.both * 1e6,
+        b.efficiency()
+    );
+
+    println!("== IV-I hybrid overlap: wall-clock phase breakdown ==");
+    println!("{}", hybrid.phase_breakdown(Axis::Wall).render_markdown());
+    println!("== IV-I hybrid overlap: virtual device timeline ==");
+    println!(
+        "{}",
+        hybrid.phase_breakdown(Axis::Virtual).render_markdown()
+    );
+    let m = hybrid.mpi_compute_overlap();
+    let p = hybrid.pcie_compute_overlap();
+    println!(
+        "mpi<->compute  overlapped {:.1} us -> efficiency {:.3}",
+        m.both * 1e6,
+        m.efficiency()
+    );
+    println!(
+        "pcie<->compute overlapped {:.3} us -> efficiency {:.3}",
+        p.both * 1e6,
+        p.efficiency()
+    );
+    println!(
+        "comm stats: peak {} bytes in flight, {:.1} us total wait\n",
+        hybrid.peak_bytes_in_flight(),
+        hybrid.total_wait_ns() as f64 / 1e3
+    );
+
+    let path = "trace_explorer_hybrid.json";
+    std::fs::write(path, obs::chrome::chrome_trace(&hybrid.traces)).expect("write trace");
+    println!(
+        "wrote {path} - load it at ui.perfetto.dev: wall spans under \
+         'rank N', the device timeline under 'rank N (virtual)'"
+    );
+}

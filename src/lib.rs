@@ -32,6 +32,7 @@ pub use advect_core;
 pub use decomp;
 pub use figures;
 pub use machine;
+pub use obs;
 pub use overlap;
 pub use perfmodel;
 pub use simgpu;
