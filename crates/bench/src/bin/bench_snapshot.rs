@@ -1,4 +1,4 @@
-//! Writes a machine-readable benchmark snapshot (`BENCH_3.json` at the
+//! Writes a machine-readable benchmark snapshot (`BENCH_4.json` at the
 //! repository root) so perf changes can be compared across commits:
 //!
 //! * stencil throughput in GF/s (53 flops/point, Table I count) for the
@@ -11,9 +11,19 @@
 //!   through the disabled tracer hooks; dividing the committed
 //!   `BENCH_2.json` (pre-tracing) throughput by today's shows what the
 //!   no-op sink costs (≈1.0 means free, as designed);
+//! * the fault-off overhead ratio: the fault-injection plumbing added to
+//!   the mailbox delivery path must be free when no plan is armed;
+//!   dividing the committed pre-fault `BENCH_3.json` exchange throughput
+//!   by today's shows what the disarmed path costs (≈1.0 means free);
 //! * wall-clock seconds for the `figures --report` claim evaluation.
 //!
-//! Usage: `cargo run --release -p bench --bin bench_snapshot [OUT.json]`
+//! Usage: `cargo run --release -p bench --bin bench_snapshot [--check] [OUT.json]`
+//!
+//! With `--check`, the fresh numbers are additionally compared against
+//! the committed `BENCH_3.json` baseline: any throughput metric falling
+//! below 75% of its committed value (25% tolerance for shared-runner
+//! noise) fails the run with exit code 1. This is CI's perf-regression
+//! gate.
 
 use advect_core::coeffs::{Stencil27, Velocity};
 use advect_core::field::Field3;
@@ -86,28 +96,39 @@ fn time_exchange(samples: usize, pooled: bool) -> f64 {
     times[times.len() / 2]
 }
 
-/// The pre-tracing snapshot's pooled-exchange throughput (values/s),
-/// read from the committed `BENCH_2.json`, or 0.0 when absent.
-fn bench2_exchange_values_per_sec() -> f64 {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+fn repo_root() -> &'static std::path::Path {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("repo root")
-        .join("BENCH_2.json");
-    std::fs::read_to_string(path)
+}
+
+/// A metric from a committed snapshot at the repository root, or 0.0
+/// when the file or key is absent.
+fn committed_f64(file: &str, key: &str) -> f64 {
+    std::fs::read_to_string(repo_root().join(file))
         .ok()
         .and_then(|text| figures::json::Value::parse(&text).ok())
-        .and_then(|v| v["exchange_values_per_sec"].as_f64())
+        .and_then(|v| v[key].as_f64())
         .unwrap_or(0.0)
 }
 
+/// Fraction of the committed value a fresh number may drop to before
+/// `--check` fails: 25% headroom for shared-runner noise.
+const CHECK_TOLERANCE: f64 = 0.75;
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .expect("repo root")
-            .join("BENCH_3.json")
+    let mut check = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        repo_root()
+            .join("BENCH_4.json")
             .to_string_lossy()
             .into_owned()
     });
@@ -141,9 +162,19 @@ fn main() {
     // exchange above already paid the disabled hooks' cost. Against the
     // committed pre-tracing BENCH_2.json, >1.0 means the no-op sink
     // slowed the comm layer down; ≈1.0 (within noise) means zero-cost.
-    let bench2 = bench2_exchange_values_per_sec();
+    let bench2 = committed_f64("BENCH_2.json", "exchange_values_per_sec");
     let tracing_off_overhead = if bench2 > 0.0 {
         bench2 / ex_values_per_s
+    } else {
+        0.0
+    };
+    // Fault-off overhead: the exchange above ran with no fault plan, so
+    // it already paid the disarmed fault path (one `Option` check per
+    // delivery). Against the committed pre-fault BENCH_3.json, ≈1.0
+    // (within noise) means the fault subsystem is free when off.
+    let bench3 = committed_f64("BENCH_3.json", "exchange_values_per_sec");
+    let fault_off_overhead = if bench3 > 0.0 {
+        bench3 / ex_values_per_s
     } else {
         0.0
     };
@@ -163,6 +194,7 @@ fn main() {
          \"exchange_messages_per_sec\": {ex_msgs_per_s:.0},\n  \
          \"exchange_pooled_over_fresh\": {pooled_over_fresh:.3},\n  \
          \"tracing_off_overhead_ratio\": {tracing_off_overhead:.3},\n  \
+         \"fault_off_overhead_ratio\": {fault_off_overhead:.3},\n  \
          \"figures_report_seconds\": {t_report:.3},\n  \
          \"sweep_threads\": {}\n}}\n",
         gf_fast / gf_scalar,
@@ -171,4 +203,39 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write snapshot");
     print!("{json}");
     eprintln!("wrote {out_path}");
+
+    if check {
+        let gates = [
+            ("stencil_fast_gf", gf_fast),
+            ("stencil_scalar_gf", gf_scalar),
+            ("exchange_values_per_sec", ex_values_per_s),
+            ("exchange_messages_per_sec", ex_msgs_per_s),
+        ];
+        let mut regressions = 0;
+        for (key, fresh) in gates {
+            let committed = committed_f64("BENCH_3.json", key);
+            if committed <= 0.0 {
+                eprintln!("check {key}: no committed baseline, skipped");
+                continue;
+            }
+            let ratio = fresh / committed;
+            let verdict = if ratio < CHECK_TOLERANCE {
+                regressions += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "check {key}: fresh {fresh:.3} vs committed {committed:.3} \
+                 (x{ratio:.2}, floor x{CHECK_TOLERANCE:.2}) {verdict}"
+            );
+        }
+        if regressions > 0 {
+            eprintln!(
+                "bench check FAILED: {regressions} metric(s) regressed past the 25% tolerance"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("bench check passed");
+    }
 }

@@ -84,11 +84,20 @@ pub enum Category {
     PcieD2h,
     /// Host-side kernel-launch (issue) overhead.
     KernelLaunch,
+    /// A bounded-wait timeout fired while completing a receive: the rank
+    /// stalled past the configured limit and re-armed its wait.
+    FaultStall,
+    /// A dropped message was redelivered by the fault injector during
+    /// this receive's wait window.
+    FaultRedeliver,
+    /// Injected straggler slowdown: the rank slept to model a slow node
+    /// (compute stragglers and allreduce stragglers).
+    FaultThrottle,
 }
 
 impl Category {
     /// All categories, in taxonomy order.
-    pub const ALL: [Category; 12] = [
+    pub const ALL: [Category; 15] = [
         Category::ComputeInterior,
         Category::ComputeVeneer,
         Category::Pack,
@@ -101,6 +110,9 @@ impl Category {
         Category::PcieH2d,
         Category::PcieD2h,
         Category::KernelLaunch,
+        Category::FaultStall,
+        Category::FaultRedeliver,
+        Category::FaultThrottle,
     ];
 
     /// The exporter-visible dotted name.
@@ -118,21 +130,27 @@ impl Category {
             Category::PcieH2d => "pcie.h2d",
             Category::PcieD2h => "pcie.d2h",
             Category::KernelLaunch => "kernel.launch",
+            Category::FaultStall => "fault.stall",
+            Category::FaultRedeliver => "fault.redeliver",
+            Category::FaultThrottle => "fault.throttle",
         }
     }
 
     /// The coarse resource class used for overlap analysis.
     pub fn resource(self) -> Resource {
         match self {
-            Category::ComputeInterior | Category::ComputeVeneer | Category::KernelLaunch => {
-                Resource::Compute
-            }
+            Category::ComputeInterior
+            | Category::ComputeVeneer
+            | Category::KernelLaunch
+            | Category::FaultThrottle => Resource::Compute,
             Category::Pack | Category::Unpack => Resource::Staging,
             Category::MpiSend
             | Category::MpiRecv
             | Category::MpiWait
             | Category::MpiAllreduce
-            | Category::MpiBarrier => Resource::Mpi,
+            | Category::MpiBarrier
+            | Category::FaultStall
+            | Category::FaultRedeliver => Resource::Mpi,
             Category::PcieH2d | Category::PcieD2h => Resource::Pcie,
         }
     }

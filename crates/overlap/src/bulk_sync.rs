@@ -26,7 +26,7 @@ impl BulkSyncMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
-        let results = World::run(cfg.ntasks, move |comm| {
+        let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
             let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
@@ -42,6 +42,7 @@ impl BulkSyncMpi {
                 // Step 1: full exchange, master thread drives communication.
                 exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 // Step 2: stencil over the whole interior, threaded by z-slab.
+                let throttle = comm.throttle_start();
                 {
                     let _span = tracer.span(obs::Category::ComputeInterior, "stencil");
                     let src = &cur;
@@ -59,11 +60,13 @@ impl BulkSyncMpi {
                         copy_region_slab(src, &mut slab, region);
                     });
                 }
+                comm.throttle_end(throttle);
             }
             comm.barrier();
             (
                 assemble_global(cfg, decomp_ref, comm, &cur),
                 comm.stats(),
+                comm.fault_stats(),
                 None,
                 crate::runner::finish_trace(&tracer),
             )

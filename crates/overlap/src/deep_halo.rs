@@ -40,7 +40,7 @@ impl DeepHaloBulkSync {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
-        let results = World::run(cfg.ntasks, move |comm| {
+        let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
             let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
@@ -66,6 +66,7 @@ impl DeepHaloBulkSync {
             while remaining > 0 {
                 exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 let burst = (width as u64).min(remaining);
+                let throttle = comm.throttle_start();
                 let _span = tracer.span(obs::Category::ComputeInterior, "burst");
                 for s in 0..burst {
                     // Extend the computed region beyond the interior by
@@ -100,12 +101,15 @@ impl DeepHaloBulkSync {
                     }
                     std::mem::swap(&mut cur, &mut new);
                 }
+                drop(_span);
+                comm.throttle_end(throttle);
                 remaining -= burst;
             }
             comm.barrier();
             (
                 assemble_global(cfg, decomp_ref, comm, &cur),
                 comm.stats(),
+                comm.fault_stats(),
                 None,
                 crate::runner::finish_trace(&tracer),
             )

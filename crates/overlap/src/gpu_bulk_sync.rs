@@ -31,11 +31,11 @@ impl GpuBulkSyncMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
-        let results = World::run(cfg.ntasks, move |comm| {
+        let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
             let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
-            let gpu = Gpu::new(spec.clone());
+            let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu.for_rank(rank));
             gpu.install_tracer(tracer.clone());
             gpu.set_constant(cfg.problem.stencil().a);
             // Host mirror: only its skin and halos are kept current.
@@ -100,6 +100,7 @@ impl GpuBulkSyncMpi {
             (
                 assemble_global(cfg, decomp_ref, comm, &host),
                 comm.stats(),
+                comm.fault_stats(),
                 Some(gpu.stats()),
                 crate::runner::finish_trace(&tracer),
             )

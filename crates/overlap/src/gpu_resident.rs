@@ -28,13 +28,14 @@ impl GpuResident {
     /// wall spans plus the device timeline bridged onto the virtual axis).
     pub fn run_with_report(cfg: &RunConfig, spec: &GpuSpec) -> (Field3, RunReport) {
         assert_eq!(cfg.ntasks, 1, "IV-E runs on a single task");
-        let gpu = Gpu::new(spec.clone());
+        let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu);
         let tracer = obs::Tracer::enabled(cfg.trace, 0, obs::Anchor::now());
         gpu.install_tracer(tracer.clone());
         let out = Self::run_on(cfg, &gpu);
         tracer.absorb(&gpu.timeline().to_trace_events());
         let mut report = RunReport {
             comm: vec![simmpi::CommStats::default()],
+            fault: vec![simmpi::FaultStats::default()],
             gpu: vec![gpu.stats()],
             ..RunReport::default()
         };

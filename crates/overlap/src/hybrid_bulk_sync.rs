@@ -33,11 +33,11 @@ impl HybridBulkSync {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
-        let results = World::run(cfg.ntasks, move |comm| {
+        let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
             let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
-            let gpu = Gpu::new(spec.clone());
+            let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu.for_rank(rank));
             gpu.install_tracer(tracer.clone());
             gpu.set_constant(cfg.problem.stencil().a);
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
@@ -94,6 +94,7 @@ impl HybridBulkSync {
                     );
                 }
                 // ...while the CPU computes the outer box points.
+                let throttle = comm.throttle_start();
                 {
                     let _span = tracer.span(obs::Category::ComputeVeneer, "cpu.walls");
                     let src = &cur;
@@ -111,6 +112,7 @@ impl HybridBulkSync {
                 for w in &part.cpu_walls {
                     cur.copy_region_from(&new, *w);
                 }
+                comm.throttle_end(throttle);
                 gpu.sync_device();
                 dev.swap();
             }
@@ -130,6 +132,7 @@ impl HybridBulkSync {
             (
                 assemble_global(cfg, decomp_ref, comm, &final_host),
                 comm.stats(),
+                comm.fault_stats(),
                 Some(gpu.stats()),
                 crate::runner::finish_trace(&tracer),
             )

@@ -52,11 +52,11 @@ impl HybridOverlap {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
-        let results = World::run(cfg.ntasks, move |comm| {
+        let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
             let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
-            let gpu = Gpu::new(spec.clone());
+            let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu.for_rank(rank));
             gpu.install_tracer(tracer.clone());
             gpu.set_constant(cfg.problem.stencil().a);
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
@@ -138,6 +138,7 @@ impl HybridOverlap {
                         let walls = [lo.intersect(&inner1), hi.intersect(&inner1)];
                         let cur_ref = &cur_shared;
                         let writer_ref = &writer;
+                        let throttle = comm.throttle_start();
                         {
                             let _span = tracer.span(obs::Category::ComputeVeneer, "walls.inner");
                             team.parallel(|ctx| {
@@ -148,6 +149,7 @@ impl HybridOverlap {
                                 }
                             });
                         }
+                        comm.throttle_end(throttle);
                         for (i, req) in recvs {
                             let data = req.wait();
                             {
@@ -201,6 +203,7 @@ impl HybridOverlap {
             (
                 assemble_global(cfg, decomp_ref, comm, &final_host),
                 comm.stats(),
+                comm.fault_stats(),
                 Some(gpu.stats()),
                 crate::runner::finish_trace(&tracer),
             )

@@ -43,7 +43,7 @@ pub use halo::HaloBuffers;
 pub use hybrid_bulk_sync::HybridBulkSync;
 pub use hybrid_overlap::HybridOverlap;
 pub use nonblocking::NonblockingMpi;
-pub use runner::{RunConfig, RunReport};
+pub use runner::{FaultSpec, RunConfig, RunReport};
 pub use single_task::SingleTask;
 pub use thread_overlap::ThreadOverlapMpi;
 

@@ -30,7 +30,7 @@ impl NonblockingMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
-        let results = World::run(cfg.ntasks, move |comm| {
+        let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
             let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
@@ -51,6 +51,7 @@ impl NonblockingMpi {
                 for (d, third) in thirds.iter().enumerate() {
                     let inflight = post_phase_recvs(&plan.phases[d], decomp_ref, rank, comm);
                     send_phase(&plan.phases[d], &cur, decomp_ref, rank, comm, &halo_bufs);
+                    let throttle = comm.throttle_start();
                     {
                         let _span = tracer.span(obs::Category::ComputeInterior, "interior.third");
                         let src = &cur;
@@ -59,6 +60,7 @@ impl NonblockingMpi {
                             apply_stencil_slab(src, &mut slab, &stencil, *third);
                         });
                     }
+                    comm.throttle_end(throttle);
                     complete_phase(inflight, &mut cur, comm, &halo_bufs);
                 }
                 // Boundary points after communication.
@@ -85,6 +87,7 @@ impl NonblockingMpi {
             (
                 assemble_global(cfg, decomp_ref, comm, &cur),
                 comm.stats(),
+                comm.fault_stats(),
                 None,
                 crate::runner::finish_trace(&tracer),
             )

@@ -5,6 +5,41 @@ use advect_core::stepper::AdvectionProblem;
 use decomp::Decomposition;
 use simmpi::Comm;
 
+/// Fault injection for a run: the MPI-side plan (delivery perturbation,
+/// stragglers, bounded waits) and the GPU-side plan (launch jitter, PCIe
+/// slowdown), driven by one construction so soak sweeps perturb both
+/// substrates from a single seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Perturbations of the message-passing substrate.
+    pub mpi: simmpi::FaultPlan,
+    /// Perturbations of the device timeline.
+    pub gpu: simgpu::GpuFaultPlan,
+}
+
+impl FaultSpec {
+    /// The neutral spec: nothing is perturbed, zero cost.
+    pub const fn off() -> Self {
+        Self {
+            mpi: simmpi::FaultPlan::off(),
+            gpu: simgpu::GpuFaultPlan::off(),
+        }
+    }
+
+    /// Moderate everything-on chaos on both substrates from one seed.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            mpi: simmpi::FaultPlan::chaos(seed),
+            gpu: simgpu::GpuFaultPlan::chaos(seed),
+        }
+    }
+
+    /// Whether both plans are at their neutral values.
+    pub fn is_off(&self) -> bool {
+        self.mpi.is_off() && self.gpu.is_off()
+    }
+}
+
 /// Configuration shared by every implementation run.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
@@ -24,6 +59,9 @@ pub struct RunConfig {
     /// Off by default: the substrates then trace into a static no-op sink
     /// and allocate no trace buffers.
     pub trace: bool,
+    /// Fault injection for the run ([`FaultSpec::off`] by default: no
+    /// perturbation, no fault state allocated).
+    pub fault: FaultSpec,
 }
 
 impl RunConfig {
@@ -38,6 +76,7 @@ impl RunConfig {
             block: (32, 8),
             thickness: 2,
             trace: false,
+            fault: FaultSpec::off(),
         }
     }
 
@@ -71,6 +110,12 @@ impl RunConfig {
         self
     }
 
+    /// Run under seeded fault injection on both substrates.
+    pub fn with_faults(mut self, fault: FaultSpec) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// The decomposition this configuration induces.
     pub fn decomposition(&self) -> Decomposition {
         let n = self.problem.n;
@@ -87,6 +132,10 @@ impl RunConfig {
 pub struct RunReport {
     /// Per-rank message-passing counters.
     pub comm: Vec<simmpi::CommStats>,
+    /// Per-rank fault-path observations (all-default when the run had no
+    /// fault plan): held/redelivered deliveries, bounded-wait retries,
+    /// max stall, straggler throttle time.
+    pub fault: Vec<simmpi::FaultStats>,
     /// Per-rank device counters (empty for CPU-only implementations).
     pub gpu: Vec<simgpu::GpuStats>,
     /// Per-rank span traces (empty unless [`RunConfig::trace`]). Wall
@@ -171,27 +220,61 @@ impl RunReport {
     pub fn phase_breakdown(&self, axis: obs::Axis) -> obs::breakdown::Breakdown {
         obs::breakdown::phase_breakdown(&self.traces, axis)
     }
+
+    /// Total messages held in limbo by jitter/reorder decisions.
+    pub fn total_delayed(&self) -> u64 {
+        self.fault.iter().map(|f| f.delayed).sum()
+    }
+
+    /// Total messages dropped and redelivered.
+    pub fn total_redelivered(&self) -> u64 {
+        self.fault.iter().map(|f| f.redelivered).sum()
+    }
+
+    /// Total bounded-wait timeouts that fired across ranks.
+    pub fn total_retries(&self) -> u64 {
+        self.fault.iter().map(|f| f.retries).sum()
+    }
+
+    /// Longest blocked wait any rank observed completing a receive, in
+    /// nanoseconds.
+    pub fn max_stall_ns(&self) -> u64 {
+        self.fault.iter().map(|f| f.max_stall_ns).max().unwrap_or(0)
+    }
+
+    /// Total nanoseconds slept modeling straggler compute and allreduce
+    /// stalls.
+    pub fn total_throttle_ns(&self) -> u64 {
+        self.fault
+            .iter()
+            .map(|f| f.compute_throttle_ns + f.allreduce_stall_ns)
+            .sum()
+    }
 }
 
 /// What each rank closure hands back: the assembled global state (rank 0
-/// only), its comm counters, device counters, and span trace.
+/// only), its comm counters, fault observations, device counters, and
+/// span trace.
 pub(crate) type RankResult = (
     Option<Field3>,
     simmpi::CommStats,
+    simmpi::FaultStats,
     Option<simgpu::GpuStats>,
     Option<obs::Trace>,
 );
 
-/// Assemble per-rank `(global, comm, gpu, trace)` results into `(Field3,
-/// RunReport)` — shared tail of every implementation's `run_with_report`.
+/// Assemble per-rank `(global, comm, fault, gpu, trace)` results into
+/// `(Field3, RunReport)` — shared tail of every implementation's
+/// `run_with_report`.
 pub(crate) fn collect_report(results: Vec<RankResult>) -> (Field3, RunReport) {
     let mut report = RunReport::default();
     let mut global = None;
-    for (g, c, d, t) in results {
+    for (g, c, f, d, t) in results {
         if let Some(g) = g {
             global = Some(g);
         }
         report.comm.push(c);
+        report.fault.push(f);
         if let Some(d) = d {
             report.gpu.push(d);
         }

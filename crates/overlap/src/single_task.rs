@@ -27,6 +27,7 @@ impl SingleTask {
         }
         let mut report = RunReport {
             comm: vec![simmpi::CommStats::default()],
+            fault: vec![simmpi::FaultStats::default()],
             ..RunReport::default()
         };
         if let Some(t) = crate::runner::finish_trace(&tracer) {

@@ -38,7 +38,7 @@ impl ThreadOverlapMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
-        let results = World::run(cfg.ntasks, move |comm| {
+        let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
             let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
             let rank = comm.rank();
             let sub = decomp_ref.subdomains[rank];
@@ -90,7 +90,9 @@ impl ThreadOverlapMpi {
                         }
                     });
                 }
-                // Step 3: state copy.
+                // Step 3: state copy (the straggler-throttled section:
+                // pure compute, outside the master's comm window).
+                let throttle = comm.throttle_start();
                 {
                     let src = &new;
                     let slabs = cur.z_slabs_mut(&cuts);
@@ -98,11 +100,13 @@ impl ThreadOverlapMpi {
                         copy_region_slab(src, &mut slab, full);
                     });
                 }
+                comm.throttle_end(throttle);
             }
             comm.barrier();
             (
                 assemble_global(cfg, decomp_ref, comm, &cur),
                 comm.stats(),
+                comm.fault_stats(),
                 None,
                 crate::runner::finish_trace(&tracer),
             )

@@ -1,5 +1,6 @@
 //! The simulated device: buffers, streams, events, hazards, timeline.
 
+use crate::fault::GpuFaultPlan;
 use crate::kernels::{self, FieldDims, StencilLaunch};
 use crate::spec::GpuSpec;
 use crate::timeline::{EngineKind as TlEngine, Timeline, TimelineEntry};
@@ -73,6 +74,8 @@ struct Inner {
     copy_free: Vec<f64>,
     host_time: f64,
     stats: GpuStats,
+    /// Ops scheduled so far — the counter seeding per-op fault jitter.
+    fault_ops: u64,
 }
 
 enum EngineKind {
@@ -99,6 +102,7 @@ pub struct Gpu {
     spec: GpuSpec,
     inner: Mutex<Inner>,
     hazard_check: bool,
+    fault: GpuFaultPlan,
     tracer: OnceLock<Tracer>,
 }
 
@@ -119,8 +123,10 @@ impl Gpu {
                 copy_free: vec![0.0; copy_engines],
                 host_time: 0.0,
                 stats: GpuStats::default(),
+                fault_ops: 0,
             }),
             hazard_check: true,
+            fault: GpuFaultPlan::off(),
             tracer: OnceLock::new(),
         }
     }
@@ -145,6 +151,19 @@ impl Gpu {
     pub fn without_hazard_check(mut self) -> Self {
         self.hazard_check = false;
         self
+    }
+
+    /// Perturb the virtual timeline under `plan`: kernel launches start
+    /// late by seeded jitter and PCIe copies run `pcie_slowdown`× longer.
+    /// Functional results are unaffected — only scheduled times move.
+    pub fn with_fault_plan(mut self, plan: GpuFaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// The fault plan this device's timeline runs under.
+    pub fn fault_plan(&self) -> GpuFaultPlan {
+        self.fault
     }
 
     /// The device's hardware description.
@@ -200,7 +219,18 @@ impl Gpu {
             EngineKind::CopyH2D => g.copy_free[0],
             EngineKind::CopyD2H => g.copy_free[self.spec.copy_engines.max(1) - 1],
         };
-        let start = g.streams[stream].time.max(engine_free).max(g.host_time);
+        let mut start = g.streams[stream].time.max(engine_free).max(g.host_time);
+        let mut dur = dur;
+        if !self.fault.is_off() {
+            let op = g.fault_ops;
+            g.fault_ops += 1;
+            match kind {
+                EngineKind::Compute => start += self.fault.launch_jitter(op),
+                EngineKind::CopyH2D | EngineKind::CopyD2H => {
+                    dur *= self.fault.pcie_slowdown.max(1.0);
+                }
+            }
+        }
         let end = start + dur;
         g.streams[stream].time = end;
         g.streams[stream].seq += 1;

@@ -18,12 +18,14 @@
 //!   calibrated roofline cost model ([`timing`]).
 
 pub mod device;
+pub mod fault;
 pub mod kernels;
 pub mod spec;
 pub mod timeline;
 pub mod timing;
 
 pub use device::{Event, Gpu, GpuBuffer, GpuStats, Stream};
+pub use fault::GpuFaultPlan;
 pub use kernels::{FieldDims, StencilLaunch};
 pub use spec::GpuSpec;
 pub use timeline::{Timeline, TimelineEntry};
@@ -294,6 +296,53 @@ mod tests {
             gpu.alloc(500_000_000);
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn fault_plan_shifts_timeline_but_not_results() {
+        let problem = AdvectionProblem::general_case(10);
+        let dims = FieldDims {
+            nx: 10,
+            ny: 10,
+            nz: 10,
+            halo: 0,
+        };
+        let init = problem.initial_field();
+        let mut flat = vec![0.0; dims.len()];
+        for (x, y, z) in dims.interior().iter() {
+            flat[dims.idx(x, y, z)] = init.at(x, y, z);
+        }
+        let run = |fault: GpuFaultPlan| {
+            let gpu = Gpu::new(GpuSpec::tesla_c2050()).with_fault_plan(fault);
+            gpu.set_constant(problem.stencil().a);
+            let cur = gpu.alloc(dims.len());
+            let new = gpu.alloc(dims.len());
+            gpu.h2d(Stream::DEFAULT, &flat, cur, 0);
+            for _ in 0..3 {
+                gpu.launch_stencil(
+                    Stream::DEFAULT,
+                    cur,
+                    new,
+                    StencilLaunch {
+                        dims,
+                        region: dims.interior(),
+                        block: (32, 8),
+                        periodic: true,
+                    },
+                );
+                let mut back = vec![0.0; dims.len()];
+                gpu.d2h(Stream::DEFAULT, new, 0, &mut back);
+            }
+            let t = gpu.sync_device();
+            (gpu.read_untimed(new), t)
+        };
+        let (clean, t_clean) = run(GpuFaultPlan::off());
+        let (faulted, t_faulted) = run(GpuFaultPlan::chaos(3));
+        assert_eq!(clean, faulted, "faults must never change results");
+        assert!(
+            t_faulted > t_clean,
+            "chaos timeline {t_faulted} not slower than clean {t_clean}"
+        );
     }
 
     #[test]

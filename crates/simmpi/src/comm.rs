@@ -1,12 +1,14 @@
 //! The per-rank communicator handle.
 
 use crate::collectives::{Barrier, ReduceSlots, ScalarSlots};
+use crate::fault::{ns_to_duration, FaultPlan, FaultStats};
 use crate::mailbox::{Mailbox, Message};
 use crate::pool::{BufferPool, PooledBuf};
 use obs::{Category, Tracer};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Message tag (like MPI's integer tags).
 pub type Tag = u64;
@@ -19,6 +21,7 @@ pub(crate) struct WorldInner {
     pub reduce: ReduceSlots,
     pub scalar: ScalarSlots,
     pub pool: Arc<BufferPool>,
+    pub plan: FaultPlan,
 }
 
 /// Per-rank traffic counters.
@@ -57,6 +60,8 @@ pub struct Comm {
     rank: usize,
     inner: Arc<WorldInner>,
     stats: Mutex<CommStats>,
+    fault: Mutex<FaultStats>,
+    allreduce_round: AtomicU64,
     tracer: OnceLock<Tracer>,
 }
 
@@ -66,6 +71,8 @@ impl Comm {
             rank,
             inner,
             stats: Mutex::new(CommStats::default()),
+            fault: Mutex::new(FaultStats::default()),
+            allreduce_round: AtomicU64::new(0),
             tracer: OnceLock::new(),
         }
     }
@@ -100,6 +107,122 @@ impl Comm {
         let mut s = *self.stats.lock();
         s.peak_bytes_in_flight = self.inner.mailboxes[self.rank].peak_bytes() as u64;
         s
+    }
+
+    /// The fault plan this world runs under ([`FaultPlan::off`] for a
+    /// plain [`crate::World::run`]).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.inner.plan
+    }
+
+    /// Fault-path observations accumulated so far. `delayed` and
+    /// `redelivered` are sampled from this rank's mailbox decision
+    /// counters at call time (like `peak_bytes_in_flight`); see
+    /// [`FaultStats::deterministic_view`] for the replayable projection.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut f = *self.fault.lock();
+        let (delayed, redelivered) = self.inner.mailboxes[self.rank].fault_counters();
+        f.delayed = delayed;
+        f.redelivered = redelivered;
+        f
+    }
+
+    /// This rank's compute slowdown under the plan (1.0 = no straggling).
+    pub fn compute_scale(&self) -> f64 {
+        self.inner.plan.compute_scale(self.rank)
+    }
+
+    /// Start a straggler-throttled compute section. Returns the section
+    /// start when this rank straggles under the plan, `None` (at zero
+    /// cost) otherwise; pass the value to [`Comm::throttle_end`].
+    pub fn throttle_start(&self) -> Option<Instant> {
+        self.inner.plan.is_straggler(self.rank).then(Instant::now)
+    }
+
+    /// End a straggler-throttled compute section: sleeps the extra time a
+    /// `compute_scale()`-times-slower rank would have needed and records
+    /// it as a `fault.throttle` span. A `None` token is a no-op.
+    pub fn throttle_end(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.throttle_compute(t0.elapsed());
+        }
+    }
+
+    /// Model straggler slowdown of a compute section that took `elapsed`:
+    /// sleep the additional `(scale - 1) × elapsed` a straggler would
+    /// have spent, recorded as a `fault.throttle` span.
+    pub fn throttle_compute(&self, elapsed: Duration) {
+        let scale = self.compute_scale();
+        if scale <= 1.0 {
+            return;
+        }
+        let extra = elapsed.mul_f64(scale - 1.0);
+        let _span = self.tracer().span(Category::FaultThrottle, "straggler");
+        std::thread::sleep(extra);
+        self.fault.lock().compute_throttle_ns += extra.as_nanos() as u64;
+    }
+
+    /// Seeded straggler stall before an allreduce participates (results
+    /// are unaffected: scalar slots fold in rank order regardless of
+    /// arrival timing).
+    fn allreduce_stall(&self) {
+        if self.inner.plan.allreduce_jitter_ns == 0 {
+            return;
+        }
+        let round = self.allreduce_round.fetch_add(1, Ordering::Relaxed);
+        let stall = self.inner.plan.allreduce_stall_ns(self.rank, round);
+        if stall > 0 {
+            let _span = self
+                .tracer()
+                .span(Category::FaultThrottle, "allreduce.straggler");
+            std::thread::sleep(ns_to_duration(stall));
+            self.fault.lock().allreduce_stall_ns += stall;
+        }
+    }
+
+    /// Blocking mailbox take, bounded when the plan sets a wait timeout:
+    /// each expiry records a `fault.stall` span, counts a retry, and
+    /// re-arms with exponential backoff (capped at 8× the base timeout).
+    /// Redeliveries observed during the wait record a `fault.redeliver`
+    /// instant. With no timeout configured this is a plain blocking take.
+    fn take_with_faults(&self, src: usize, tag: Tag) -> Vec<f64> {
+        let mailbox = &self.inner.mailboxes[self.rank];
+        let timeout_ns = self.inner.plan.wait_timeout_ns;
+        if timeout_ns == 0 {
+            return mailbox.take_matching(src, tag);
+        }
+        let tracer = self.tracer();
+        let (_, redelivered_before) = mailbox.fault_counters();
+        let mut timeout = ns_to_duration(timeout_ns);
+        let cap = ns_to_duration(timeout_ns.saturating_mul(8));
+        let mut retries = 0u64;
+        let stall_start = Instant::now();
+        let data = loop {
+            let attempt_ns = tracer.now_ns();
+            match mailbox.take_matching_timeout(src, tag, timeout) {
+                Some(data) => break data,
+                None => {
+                    retries += 1;
+                    tracer.record_wall(
+                        Category::FaultStall,
+                        "bounded-wait",
+                        attempt_ns,
+                        tracer.now_ns(),
+                    );
+                    timeout = timeout.saturating_mul(2).min(cap);
+                }
+            }
+        };
+        let stalled_ns = stall_start.elapsed().as_nanos() as u64;
+        let (_, redelivered_after) = mailbox.fault_counters();
+        if redelivered_after > redelivered_before {
+            let now = tracer.now_ns();
+            tracer.record_wall(Category::FaultRedeliver, "redelivered", now, now);
+        }
+        let mut f = self.fault.lock();
+        f.retries += retries;
+        f.max_stall_ns = f.max_stall_ns.max(stalled_ns);
+        data
     }
 
     fn check_rank(&self, rank: usize, what: &str) {
@@ -171,7 +294,7 @@ impl Comm {
         let tracer = self.tracer();
         let start_ns = tracer.now_ns();
         let t0 = Instant::now();
-        let data = self.inner.mailboxes[self.rank].take_matching(src, tag);
+        let data = self.take_with_faults(src, tag);
         let waited = t0.elapsed().as_nanos() as u64;
         tracer.record_wall(Category::MpiRecv, "recv", start_ns, tracer.now_ns());
         let mut s = self.stats.lock();
@@ -219,12 +342,14 @@ impl Comm {
 
     /// Global sum of one value per rank (allocation-free: scalar slots).
     pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.allreduce_stall();
         let _span = self.tracer().span(Category::MpiAllreduce, "sum");
         self.inner.scalar.exchange(self.rank, value).0
     }
 
     /// Global maximum of one value per rank (allocation-free).
     pub fn allreduce_max(&self, value: f64) -> f64 {
+        self.allreduce_stall();
         let _span = self.tracer().span(Category::MpiAllreduce, "max");
         self.inner.scalar.exchange(self.rank, value).1
     }
@@ -270,7 +395,7 @@ impl RecvRequest<'_> {
         let tracer = self.comm.tracer();
         let wait_start_ns = tracer.now_ns();
         let t0 = Instant::now();
-        let data = self.comm.inner.mailboxes[self.comm.rank].take_matching(self.src, self.tag);
+        let data = self.comm.take_with_faults(self.src, self.tag);
         let waited = t0.elapsed().as_nanos() as u64;
         let end_ns = tracer.now_ns();
         tracer.record_wall(Category::MpiWait, "wait", wait_start_ns, end_ns);

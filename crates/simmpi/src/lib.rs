@@ -42,13 +42,30 @@
 //! metrics can measure how much of it was hidden behind computation. With
 //! no tracer installed the calls hit a static no-op sink.
 
+//!
+//! ## Fault injection
+//!
+//! [`World::run_with_faults`] threads a seeded [`FaultPlan`] through the
+//! world: message delivery runs through a per-mailbox limbo (latency
+//! jitter, cross-channel reordering, transient drop-with-redelivery),
+//! straggler ranks throttle their compute sections and stall inside
+//! allreduces, and receives gain bounded waits with retry/backoff. Every
+//! perturbation is a pure function of the seed and the traffic, so a
+//! seeded world replays the same fault schedule no matter how the OS
+//! interleaves its threads — and because only *timing* is perturbed
+//! (content and per-channel order never change), results stay
+//! bit-identical to the fault-free run. [`Comm::fault_stats`] reports the
+//! fault path's observations next to [`CommStats`].
+
 mod collectives;
 mod comm;
+mod fault;
 mod mailbox;
 mod pool;
 mod world;
 
 pub use comm::{Comm, CommStats, RecvRequest, SendRequest, Tag};
+pub use fault::{fault_states_allocated, splitmix64, FaultPlan, FaultStats};
 pub use pool::PooledBuf;
 pub use world::World;
 
@@ -390,5 +407,146 @@ mod tests {
                 comm.send(5, 0, vec![1.0]);
             }
         });
+    }
+
+    /// A ring of many same-channel messages under a chaotic plan: every
+    /// payload arrives intact and in send order despite jitter, reorder
+    /// holds, and drop-with-redelivery.
+    #[test]
+    fn faulty_ring_preserves_payloads_and_channel_order() {
+        let n = 4usize;
+        let rounds = 40;
+        let results = World::run_with_faults(n, FaultPlan::chaos(11), move |comm| {
+            let right = (comm.rank() + 1) % n;
+            let left = (comm.rank() + n - 1) % n;
+            for i in 0..rounds {
+                comm.send(right, 0, vec![comm.rank() as f64, i as f64]);
+            }
+            let got: Vec<Vec<f64>> = (0..rounds).map(|_| comm.recv(left, 0).to_vec()).collect();
+            (left, got)
+        });
+        for (rank, (left, got)) in results.iter().enumerate() {
+            for (i, msg) in got.iter().enumerate() {
+                assert_eq!(
+                    msg,
+                    &vec![*left as f64, i as f64],
+                    "rank {rank} message {i} corrupted or reordered"
+                );
+            }
+        }
+    }
+
+    /// The same seeded world replays the same fault decisions: delivery
+    /// counters and traffic stats match across runs (timing fields
+    /// masked).
+    #[test]
+    fn fault_schedule_replays_from_seed() {
+        let run = || {
+            World::run_with_faults(3, FaultPlan::chaos(99), |comm| {
+                let right = (comm.rank() + 1) % 3;
+                let left = (comm.rank() + 2) % 3;
+                for i in 0..25 {
+                    let req = comm.irecv(left, 1);
+                    comm.send(right, 1, vec![i as f64; 8]);
+                    req.wait();
+                }
+                let mut s = comm.stats();
+                s.wait_ns = 0;
+                s.peak_bytes_in_flight = 0;
+                s.buffers_allocated = 0;
+                s.buffers_recycled = 0;
+                (s, comm.fault_stats().deterministic_view())
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// With `drop_prob = 1.0` every message is "lost" and redelivered;
+    /// bounded waits fire, retries accumulate, and the payloads still
+    /// arrive exactly once, in order.
+    #[test]
+    fn dropped_messages_redeliver_and_retries_count() {
+        let plan = FaultPlan::off()
+            .with_drops(1.0, 3_000_000)
+            .with_wait_timeout_ns(500_000);
+        let results = World::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0]);
+                comm.send(1, 0, vec![2.0]);
+                (vec![], FaultStats::default())
+            } else {
+                let a = comm.recv(0, 0).to_vec();
+                let b = comm.recv(0, 0).to_vec();
+                (vec![a[0], b[0]], comm.fault_stats())
+            }
+        });
+        let (payloads, fs) = &results[1];
+        assert_eq!(payloads, &vec![1.0, 2.0]);
+        assert_eq!(fs.redelivered, 2);
+        assert_eq!(fs.delayed, 0);
+        assert!(fs.retries >= 1, "3 ms redelivery must outlast 0.5 ms wait");
+        assert!(fs.max_stall_ns >= 2_000_000, "stall {} ns", fs.max_stall_ns);
+    }
+
+    /// Allreduce results are exact under straggler stalls (rank-order
+    /// fold is timing-independent), and the stalls are observed.
+    #[test]
+    fn allreduce_exact_under_stragglers() {
+        let plan = FaultPlan::off()
+            .with_stragglers(1.0, 2.0)
+            .with_allreduce_jitter_ns(200_000);
+        let results = World::run_with_faults(5, plan, |comm| {
+            let mut acc = 0.0;
+            for round in 0..10 {
+                acc += comm.allreduce_sum((comm.rank() + round) as f64);
+            }
+            (acc, comm.fault_stats().allreduce_stall_ns)
+        });
+        // Σ_round (10 + 5·round) = 100 + 5·45
+        for &(acc, _) in &results {
+            assert_eq!(acc, 100.0 + 5.0 * 45.0);
+        }
+        let total_stall: u64 = results.iter().map(|&(_, s)| s).sum();
+        assert!(total_stall > 0, "stragglers never stalled");
+    }
+
+    /// Fault-free worlds allocate no fault state — `FaultPlan::off` is
+    /// genuinely zero-cost on the delivery path.
+    #[test]
+    fn off_plan_allocates_no_fault_state() {
+        let before = fault_states_allocated();
+        World::run(3, |comm| {
+            let right = (comm.rank() + 1) % 3;
+            let left = (comm.rank() + 2) % 3;
+            let req = comm.irecv(left, 0);
+            comm.send(right, 0, vec![1.0; 32]);
+            req.wait();
+            assert_eq!(comm.fault_stats(), FaultStats::default());
+        });
+        assert_eq!(fault_states_allocated(), before);
+    }
+
+    /// Straggler throttling slows the throttled section and records the
+    /// slept time; non-stragglers pay nothing.
+    #[test]
+    fn throttle_scales_compute_sections() {
+        let plan = FaultPlan::off().with_stragglers(1.0, 3.0);
+        let results = World::run_with_faults(2, plan, |comm| {
+            let t = comm.throttle_start();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            comm.throttle_end(t);
+            comm.fault_stats().compute_throttle_ns
+        });
+        for &throttled in &results {
+            assert!(
+                throttled >= 3_000_000,
+                "expected ≥ 2·2 ms, got {throttled} ns"
+            );
+        }
+        let off = World::run(1, |comm| {
+            assert!(comm.throttle_start().is_none());
+            comm.fault_stats().compute_throttle_ns
+        });
+        assert_eq!(off[0], 0);
     }
 }

@@ -5,9 +5,22 @@
 //! queued messages instead of a linear scan under the mutex. Channel
 //! queues persist once created (a halo exchange reuses the same six
 //! channels every step), so the steady state allocates nothing.
+//!
+//! When a world runs under a [`crate::FaultPlan`] that perturbs delivery,
+//! each mailbox carries a **limbo**: messages the plan holds (jitter,
+//! reorder, drop-with-redelivery) wait there with a release deadline
+//! before entering their channel queue. Per-channel FIFO is preserved —
+//! a message never overtakes an earlier held message of its own channel —
+//! while messages on other channels overtake freely, exactly the
+//! reordering MPI's matching rules permit. Receivers flush due limbo
+//! entries themselves (their condvar waits are bounded by the earliest
+//! deadline), so no background thread is needed and a fault-free world
+//! pays a single `Option` branch per delivery.
 
+use crate::fault::{note_fault_state_allocated, ns_to_duration, Delivery, FaultPlan};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// A message in flight.
 #[derive(Debug)]
@@ -17,17 +30,69 @@ pub(crate) struct Message {
     pub data: Vec<f64>,
 }
 
+/// A held message waiting in limbo for its release deadline.
+struct Held {
+    src: usize,
+    tag: u64,
+    data: Vec<f64>,
+    release_at: Instant,
+}
+
+/// Fault-injection state of one mailbox (allocated only when the plan
+/// perturbs delivery; see [`crate::fault_states_allocated`]).
+struct Limbo {
+    plan: FaultPlan,
+    /// The owning rank (the destination every decision hash folds in).
+    dst: usize,
+    /// Per-channel send-sequence counters driving the decision hash.
+    seq: HashMap<(usize, u64), u64>,
+    /// Held messages in arrival order; per-channel deadlines are
+    /// monotone, so releasing due entries front-to-back preserves FIFO.
+    held: VecDeque<Held>,
+    /// Messages held by jitter/reorder decisions.
+    delayed: u64,
+    /// Messages dropped and redelivered.
+    redelivered: u64,
+}
+
 #[derive(Default)]
 struct Channels {
     /// One FIFO per `(source, tag)` channel.
     queues: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
-    /// Messages queued across all channels.
+    /// Messages queued across all channels (including limbo).
     total: usize,
-    /// Payload bytes currently queued across all channels.
+    /// Payload bytes currently queued across all channels (incl. limbo).
     bytes: usize,
     /// High-water mark of `bytes` — the peak volume that was in flight
     /// toward this rank at any instant.
     peak_bytes: usize,
+    /// Fault-injection limbo; `None` in fault-free worlds.
+    fault: Option<Box<Limbo>>,
+}
+
+/// Move every due limbo entry into its channel queue; returns the
+/// earliest remaining deadline, if any. `total`/`bytes` already counted
+/// the held messages at delivery, so releasing moves no counters.
+fn flush_due(c: &mut Channels) -> Option<Instant> {
+    let Channels { queues, fault, .. } = c;
+    let f = fault.as_deref_mut()?;
+    if f.held.is_empty() {
+        return None;
+    }
+    let now = Instant::now();
+    let mut earliest: Option<Instant> = None;
+    let mut i = 0;
+    while i < f.held.len() {
+        if f.held[i].release_at <= now {
+            let h = f.held.remove(i).expect("index in range");
+            queues.entry((h.src, h.tag)).or_default().push_back(h.data);
+        } else {
+            let at = f.held[i].release_at;
+            earliest = Some(earliest.map_or(at, |e| e.min(at)));
+            i += 1;
+        }
+    }
+    earliest
 }
 
 /// A rank's incoming-message queue.
@@ -42,18 +107,88 @@ pub(crate) struct Mailbox {
 }
 
 impl Mailbox {
-    /// Deposit a message and wake any waiting receiver.
+    /// A mailbox whose deliveries run through `plan`'s limbo. Allocates
+    /// the fault state (counted by [`crate::fault_states_allocated`]).
+    pub fn with_faults(plan: FaultPlan, dst: usize) -> Self {
+        note_fault_state_allocated();
+        Self {
+            channels: Mutex::new(Channels {
+                fault: Some(Box::new(Limbo {
+                    plan,
+                    dst,
+                    seq: HashMap::new(),
+                    held: VecDeque::new(),
+                    delayed: 0,
+                    redelivered: 0,
+                })),
+                ..Channels::default()
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Deposit a message and wake any waiting receiver. Under a fault
+    /// plan the message may instead enter limbo until its release
+    /// deadline.
     pub fn deliver(&self, msg: Message) {
+        let Message { src, tag, data } = msg;
         let mut c = self.channels.lock();
-        let bytes = msg.data.len() * std::mem::size_of::<f64>();
-        c.queues
-            .entry((msg.src, msg.tag))
-            .or_default()
-            .push_back(msg.data);
         c.total += 1;
-        c.bytes += bytes;
+        c.bytes += data.len() * std::mem::size_of::<f64>();
         c.peak_bytes = c.peak_bytes.max(c.bytes);
+        if let Some(f) = c.fault.as_deref_mut() {
+            let seq = f.seq.entry((src, tag)).or_insert(0);
+            let s = *seq;
+            *seq += 1;
+            // Non-overtaking floor: a message must queue behind any held
+            // predecessor of its own channel.
+            let channel_floor = f
+                .held
+                .iter()
+                .rev()
+                .find(|h| h.src == src && h.tag == tag)
+                .map(|h| h.release_at);
+            let hold_until = match f.plan.classify(f.dst, src, tag, s) {
+                // A floor-forced hold is not a fault decision — it only
+                // keeps FIFO behind a held peer — so it moves no counter.
+                Delivery::Now => channel_floor,
+                Delivery::Hold {
+                    delay_ns,
+                    redelivered,
+                } => {
+                    if redelivered {
+                        f.redelivered += 1;
+                    } else {
+                        f.delayed += 1;
+                    }
+                    let at = Instant::now() + ns_to_duration(delay_ns);
+                    Some(channel_floor.map_or(at, |floor| at.max(floor)))
+                }
+            };
+            if let Some(release_at) = hold_until {
+                f.held.push_back(Held {
+                    src,
+                    tag,
+                    data,
+                    release_at,
+                });
+                drop(c);
+                // Waiters are woken for held messages too: the hold
+                // changes the earliest deadline their timed waits use.
+                self.arrived.notify_all();
+                return;
+            }
+        }
+        c.queues.entry((src, tag)).or_default().push_back(data);
+        drop(c);
         self.arrived.notify_all();
+    }
+
+    fn try_pop(c: &mut Channels, src: usize, tag: u64) -> Option<Vec<f64>> {
+        let data = c.queues.get_mut(&(src, tag)).and_then(|q| q.pop_front())?;
+        c.total -= 1;
+        c.bytes -= data.len() * std::mem::size_of::<f64>();
+        Some(data)
     }
 
     /// Block until a message matching `(src, tag)` is available and remove
@@ -61,25 +196,60 @@ impl Mailbox {
     pub fn take_matching(&self, src: usize, tag: u64) -> Vec<f64> {
         let mut c = self.channels.lock();
         loop {
-            if let Some(data) = c.queues.get_mut(&(src, tag)).and_then(|q| q.pop_front()) {
-                c.total -= 1;
-                c.bytes -= data.len() * std::mem::size_of::<f64>();
+            let next_due = flush_due(&mut c);
+            if let Some(data) = Self::try_pop(&mut c, src, tag) {
                 return data;
             }
-            self.arrived.wait(&mut c);
+            match next_due {
+                Some(at) => {
+                    let wait = at
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_micros(1));
+                    let _ = self.arrived.wait_for(&mut c, wait);
+                }
+                None => self.arrived.wait(&mut c),
+            }
         }
     }
 
-    /// Non-blocking probe: whether a matching message has arrived.
-    pub fn has_matching(&self, src: usize, tag: u64) -> bool {
-        self.channels
-            .lock()
-            .queues
-            .get(&(src, tag))
-            .is_some_and(|q| !q.is_empty())
+    /// Like [`Mailbox::take_matching`], but give up after `timeout` of
+    /// blocking without a match (the bounded-wait detection primitive).
+    pub fn take_matching_timeout(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Option<Vec<f64>> {
+        let deadline = Instant::now() + timeout;
+        let mut c = self.channels.lock();
+        loop {
+            let next_due = flush_due(&mut c);
+            if let Some(data) = Self::try_pop(&mut c, src, tag) {
+                return Some(data);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let mut wait = deadline - now;
+            if let Some(at) = next_due {
+                wait = wait.min(at.saturating_duration_since(now));
+            }
+            let _ = self
+                .arrived
+                .wait_for(&mut c, wait.max(Duration::from_micros(1)));
+        }
     }
 
-    /// Number of messages currently queued (for diagnostics).
+    /// Non-blocking probe: whether a matching message has arrived (due
+    /// limbo entries are flushed first).
+    pub fn has_matching(&self, src: usize, tag: u64) -> bool {
+        let mut c = self.channels.lock();
+        flush_due(&mut c);
+        c.queues.get(&(src, tag)).is_some_and(|q| !q.is_empty())
+    }
+
+    /// Number of messages currently queued or held (for diagnostics).
     pub fn len(&self) -> usize {
         self.channels.lock().total
     }
@@ -87,5 +257,15 @@ impl Mailbox {
     /// High-water mark of payload bytes that were queued at once.
     pub fn peak_bytes(&self) -> usize {
         self.channels.lock().peak_bytes
+    }
+
+    /// Fault decision counters `(delayed, redelivered)`; zeros in
+    /// fault-free worlds.
+    pub fn fault_counters(&self) -> (u64, u64) {
+        self.channels
+            .lock()
+            .fault
+            .as_deref()
+            .map_or((0, 0), |f| (f.delayed, f.redelivered))
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::collectives::{Barrier, ReduceSlots, ScalarSlots};
 use crate::comm::{Comm, WorldInner};
+use crate::fault::FaultPlan;
 use crate::mailbox::Mailbox;
 use crate::pool::BufferPool;
 use std::sync::Arc;
@@ -30,14 +31,36 @@ impl World {
         T: Send,
         F: Fn(&Comm) -> T + Sync,
     {
+        Self::run_with_faults(size, FaultPlan::off(), body)
+    }
+
+    /// Like [`World::run`], but every delivery, wait, and collective runs
+    /// under `plan`'s seeded perturbations. With [`FaultPlan::off`] this
+    /// is exactly `run` — fault-free worlds allocate no fault state
+    /// (see [`crate::fault_states_allocated`]).
+    pub fn run_with_faults<T, F>(size: usize, plan: FaultPlan, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
         assert!(size > 0, "world must have at least one rank");
+        let perturbed = plan.perturbs_delivery();
         let inner = Arc::new(WorldInner {
             size,
-            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            mailboxes: (0..size)
+                .map(|dst| {
+                    if perturbed {
+                        Mailbox::with_faults(plan, dst)
+                    } else {
+                        Mailbox::default()
+                    }
+                })
+                .collect(),
             barrier: Barrier::new(size),
             reduce: ReduceSlots::new(size),
             scalar: ScalarSlots::new(size),
             pool: Arc::new(BufferPool::new()),
+            plan,
         });
         let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {

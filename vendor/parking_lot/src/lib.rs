@@ -3,12 +3,14 @@
 //! The build environment has no network access to crates.io, so this
 //! vendored shim provides the exact subset of the `parking_lot` API the
 //! workspace uses — `Mutex` (non-poisoning `lock()` returning a guard
-//! directly) and `Condvar` (`wait(&mut guard)`) — implemented on top of
-//! `std::sync`. Poisoning is absorbed: a poisoned lock yields its inner
-//! guard, matching `parking_lot`'s poison-free semantics.
+//! directly) and `Condvar` (`wait(&mut guard)` and the timed
+//! `wait_for(&mut guard, timeout)`) — implemented on top of `std::sync`.
+//! Poisoning is absorbed: a poisoned lock yields its inner guard,
+//! matching `parking_lot`'s poison-free semantics.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::time::Duration;
 
 /// A mutual-exclusion primitive with `parking_lot`'s non-poisoning API.
 pub struct Mutex<T: ?Sized> {
@@ -107,6 +109,23 @@ impl Condvar {
         guard.inner = Some(g);
     }
 
+    /// Block until notified or `timeout` elapses, releasing the lock
+    /// while waiting. Returns whether the wait timed out (spurious
+    /// wakeups report "not timed out", as in `parking_lot`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Wake one waiting thread.
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
@@ -117,6 +136,18 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
         0
+    }
+}
+
+/// Result of a [`Condvar::wait_for`]: whether the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed rather than a
+    /// notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -165,6 +196,34 @@ mod tests {
             let (lock, cv) = &*pair;
             *lock.lock() = true;
             cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn wait_for_returns_on_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            std::thread::sleep(Duration::from_millis(5));
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            let res = cv.wait_for(&mut done, Duration::from_secs(5));
+            assert!(!res.timed_out() || *done);
         }
         t.join().unwrap();
     }
