@@ -1,0 +1,58 @@
+//! Renders the bench-snapshot trajectory: every committed
+//! `BENCH_<n>.json` at the repository root becomes one ordered history,
+//! printed as a markdown dashboard (sparkline per metric, latest-vs-
+//! previous deltas, overhead-ratio lineage) and optionally written as a
+//! JSON artifact for CI.
+//!
+//! Usage: `cargo run -p bench --bin bench_history [--json OUT.json] [--md OUT.md]`
+//!
+//! Exits nonzero when no snapshots are found (the dashboard existing is
+//! itself a CI invariant).
+
+use bench::history::History;
+
+fn repo_root() -> &'static std::path::Path {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+}
+
+fn main() {
+    let mut json_out: Option<String> = None;
+    let mut md_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_out = args.next(),
+            "--md" => md_out = args.next(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let history = match History::load(repo_root()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bench_history: {e}");
+            std::process::exit(1);
+        }
+    };
+    if history.snapshots.is_empty() {
+        eprintln!("bench_history: no BENCH_<n>.json snapshots at the repo root");
+        std::process::exit(1);
+    }
+
+    let md = history.render_markdown();
+    print!("{md}");
+    if let Some(path) = md_out {
+        std::fs::write(&path, &md).expect("write markdown");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, history.render_json()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,5 +1,6 @@
-//! Writes a machine-readable benchmark snapshot (`BENCH_4.json` at the
-//! repository root) so perf changes can be compared across commits:
+//! Writes a machine-readable benchmark snapshot (`BENCH_<n>.json` at the
+//! repository root, `<n>` one past the latest committed snapshot) so perf
+//! changes can be compared across commits:
 //!
 //! * stencil throughput in GF/s (53 flops/point, Table I count) for the
 //!   row-vectorized fast path and its scalar per-point oracle on the
@@ -15,12 +16,18 @@
 //!   the mailbox delivery path must be free when no plan is armed;
 //!   dividing the committed pre-fault `BENCH_3.json` exchange throughput
 //!   by today's shows what the disarmed path costs (≈1.0 means free);
+//! * the metrics-off overhead ratio: the exchange loop runs through the
+//!   disabled registry hooks; dividing today's throughput by the
+//!   committed pre-metrics `BENCH_4.json` value shows what the off path
+//!   costs (note the orientation: ≥ 0.95 means at most 5% slower than
+//!   before the metrics layer existed);
 //! * wall-clock seconds for the `figures --report` claim evaluation.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_snapshot [--check] [OUT.json]`
 //!
-//! With `--check`, the fresh numbers are additionally compared against
-//! the committed `BENCH_3.json` baseline: any throughput metric falling
+//! With `--check`, the fresh numbers are additionally gated through
+//! [`bench::history::History::check`] against the *latest* committed
+//! `BENCH_<n>.json` discovered by scan: any throughput metric falling
 //! below 75% of its committed value (25% tolerance for shared-runner
 //! noise) fails the run with exit code 1. This is CI's perf-regression
 //! gate.
@@ -126,9 +133,12 @@ fn main() {
             other => out_path = Some(other.to_string()),
         }
     }
+    // The history must load before the new snapshot is written, or the
+    // gate would compare today's numbers against themselves.
+    let history = bench::history::History::load(repo_root()).unwrap_or_default();
     let out_path = out_path.unwrap_or_else(|| {
         repo_root()
-            .join("BENCH_4.json")
+            .join(format!("BENCH_{}.json", history.next_index()))
             .to_string_lossy()
             .into_owned()
     });
@@ -178,6 +188,18 @@ fn main() {
     } else {
         0.0
     };
+    // Metrics-off overhead: the exchange ran with no registry installed,
+    // so it already paid the disabled metrics hooks (one `Option` check
+    // per send/recv). Against the committed pre-metrics BENCH_4.json —
+    // fresh over committed, so ≥ 0.95 means the off path costs at most
+    // 5% (the direction differs from the two ratios above, which divide
+    // committed by fresh).
+    let bench4 = committed_f64("BENCH_4.json", "exchange_values_per_sec");
+    let metrics_off_overhead = if bench4 > 0.0 {
+        ex_values_per_s / bench4
+    } else {
+        0.0
+    };
 
     let t0 = Instant::now();
     let claims = figures::report::evaluate_claims();
@@ -195,6 +217,7 @@ fn main() {
          \"exchange_pooled_over_fresh\": {pooled_over_fresh:.3},\n  \
          \"tracing_off_overhead_ratio\": {tracing_off_overhead:.3},\n  \
          \"fault_off_overhead_ratio\": {fault_off_overhead:.3},\n  \
+         \"metrics_off_overhead_ratio\": {metrics_off_overhead:.3},\n  \
          \"figures_report_seconds\": {t_report:.3},\n  \
          \"sweep_threads\": {}\n}}\n",
         gf_fast / gf_scalar,
@@ -211,28 +234,29 @@ fn main() {
             ("exchange_values_per_sec", ex_values_per_s),
             ("exchange_messages_per_sec", ex_msgs_per_s),
         ];
-        let mut regressions = 0;
-        for (key, fresh) in gates {
-            let committed = committed_f64("BENCH_3.json", key);
-            if committed <= 0.0 {
-                eprintln!("check {key}: no committed baseline, skipped");
-                continue;
-            }
-            let ratio = fresh / committed;
-            let verdict = if ratio < CHECK_TOLERANCE {
-                regressions += 1;
-                "REGRESSION"
-            } else {
-                "ok"
-            };
+        let outcome = history.check(&gates, CHECK_TOLERANCE);
+        match &outcome.baseline {
+            Some(p) => eprintln!("check baseline: {}", p.display()),
+            None => eprintln!("check baseline: none (no committed snapshots)"),
+        }
+        for key in &outcome.skipped {
+            eprintln!("check {key}: no committed baseline, skipped");
+        }
+        for g in &outcome.gates {
             eprintln!(
-                "check {key}: fresh {fresh:.3} vs committed {committed:.3} \
-                 (x{ratio:.2}, floor x{CHECK_TOLERANCE:.2}) {verdict}"
+                "check {}: fresh {:.3} vs committed {:.3} \
+                 (x{:.2}, floor x{CHECK_TOLERANCE:.2}) {}",
+                g.key,
+                g.fresh,
+                g.committed,
+                g.ratio,
+                if g.ok { "ok" } else { "REGRESSION" }
             );
         }
-        if regressions > 0 {
+        if !outcome.passed() {
             eprintln!(
-                "bench check FAILED: {regressions} metric(s) regressed past the 25% tolerance"
+                "bench check FAILED: {} metric(s) regressed past the 25% tolerance",
+                outcome.regressions()
             );
             std::process::exit(1);
         }

@@ -1,0 +1,88 @@
+//! Run every implementation with the metrics registry and span tracing
+//! enabled, export each registry as Prometheus text and JSON, validate
+//! the Prometheus exposition in-process, and print the critical-path
+//! attribution table per implementation.
+//!
+//! This is CI's metrics smoke job: it proves the registries populate
+//! under every schedule (at least one non-empty histogram each), that
+//! the exporters emit well-formed output, and that the critical-path
+//! analyzer runs over every implementation's trace.
+//!
+//! Usage: `cargo run --release -p bench --bin metrics_run [OUT_DIR]`
+
+use advect_core::stepper::AdvectionProblem;
+use bench::validate_prometheus;
+use obs::Axis;
+use overlap::{Impl, RunConfig};
+use simgpu::GpuSpec;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let spec = GpuSpec::tesla_c2050();
+    let base = RunConfig::new(AdvectionProblem::general_case(12), 3)
+        .with_threads(2)
+        .with_block((8, 8))
+        .with_thickness(1)
+        .with_trace(true)
+        .with_metrics(true);
+
+    let mut failures = 0;
+    for im in Impl::ALL {
+        let cfg = if im.uses_mpi() { base.tasks(4) } else { base };
+        let (_, report) = im.run_with_report(&cfg, Some(&spec));
+
+        let prom = report.metrics.render_prometheus();
+        let prom_path = format!("{out_dir}/metrics_{}.prom", im.slug());
+        std::fs::write(&prom_path, &prom).expect("write prometheus");
+        let json_path = format!("{out_dir}/metrics_{}.json", im.slug());
+        std::fs::write(&json_path, report.metrics.render_json()).expect("write json");
+
+        println!("## {} — {} ({prom_path})", im.section(), im.name());
+        match validate_prometheus(&prom) {
+            Ok(check) => {
+                println!(
+                    "valid: {} samples ({} counters, {} gauges, {} histograms, \
+                     {} non-empty)",
+                    check.samples,
+                    check.counters,
+                    check.gauges,
+                    check.histograms,
+                    check.non_empty_histograms
+                );
+                if check.non_empty_histograms == 0 {
+                    println!("EMPTY: no histogram observed anything");
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("INVALID: {e}");
+                failures += 1;
+            }
+        }
+        let step = report.metrics.histogram_snapshot("advect_step_ns");
+        if step.count > 0 {
+            println!(
+                "steps: {} (p50 {} ns, p95 {} ns, p99 {} ns)",
+                step.count,
+                step.quantile(0.5),
+                step.quantile(0.95),
+                step.quantile(0.99)
+            );
+        }
+        println!(
+            "{}",
+            report.critical_breakdown(Axis::Wall).render_markdown()
+        );
+        if im.uses_gpu() {
+            println!(
+                "{}",
+                report.critical_breakdown(Axis::Virtual).render_markdown()
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} metrics export(s) failed validation");
+        std::process::exit(1);
+    }
+}

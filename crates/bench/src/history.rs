@@ -1,0 +1,511 @@
+//! Bench-snapshot trajectory: every committed `BENCH_<n>.json` at the
+//! repository root, parsed into one ordered history. The history is the
+//! single source for the CI perf gate (`bench_snapshot --check` routes
+//! through [`History::check`] against the latest committed snapshot) and
+//! for the `bench_history` regression dashboard (sparkline table plus
+//! per-metric deltas between the two most recent snapshots).
+
+use figures::json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// How a metric's movement should be read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: bigger is better.
+    HigherIsBetter,
+    /// Duration-like (`*_seconds`): smaller is better.
+    LowerIsBetter,
+    /// Overhead ratios (`*_ratio`): healthy near 1.0, drift either way
+    /// is a finding, not a regression.
+    NearOne,
+    /// Benchmark configuration (grid sizes, task counts): not a metric.
+    Config,
+}
+
+/// Keys that describe the benchmark setup rather than a measurement.
+const CONFIG_KEYS: &[&str] = &[
+    "grid",
+    "flops_per_point",
+    "exchange_grid",
+    "exchange_tasks",
+    "sweep_threads",
+];
+
+/// Classify a snapshot key by naming convention.
+pub fn direction(key: &str) -> Direction {
+    if CONFIG_KEYS.contains(&key) {
+        Direction::Config
+    } else if key.ends_with("_ratio") {
+        Direction::NearOne
+    } else if key.ends_with("_seconds") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::HigherIsBetter
+    }
+}
+
+/// One committed `BENCH_<n>.json`.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The `<n>` in the filename; orders the history.
+    pub index: u64,
+    /// Where the snapshot was read from.
+    pub path: PathBuf,
+    /// Every numeric top-level field.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Snapshot {
+    /// Parse one snapshot file.
+    pub fn load(index: u64, path: &Path) -> Result<Snapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Value::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let Value::Object(fields) = &doc else {
+            return Err(format!("{}: not a JSON object", path.display()));
+        };
+        let mut values = BTreeMap::new();
+        for (k, v) in fields {
+            if let Some(x) = v.as_f64() {
+                values.insert(k.clone(), x);
+            }
+        }
+        if values.is_empty() {
+            return Err(format!("{}: no numeric fields", path.display()));
+        }
+        Ok(Snapshot {
+            index,
+            path: path.to_path_buf(),
+            values,
+        })
+    }
+
+    /// A metric's value, if this snapshot recorded it.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values.get(key).copied()
+    }
+}
+
+/// The ordered sequence of committed snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Snapshots sorted by index, oldest first.
+    pub snapshots: Vec<Snapshot>,
+}
+
+/// One gate comparison from [`History::check`].
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Metric key.
+    pub key: String,
+    /// The freshly measured value.
+    pub fresh: f64,
+    /// The latest committed value.
+    pub committed: f64,
+    /// `fresh / committed`.
+    pub ratio: f64,
+    /// Whether the ratio clears the tolerance floor.
+    pub ok: bool,
+}
+
+/// The outcome of gating fresh numbers against the latest snapshot.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The snapshot the gates compared against (its file path).
+    pub baseline: Option<PathBuf>,
+    /// Per-metric comparisons.
+    pub gates: Vec<Gate>,
+    /// Metrics without a committed baseline, skipped.
+    pub skipped: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// Whether every gated metric cleared the floor.
+    pub fn passed(&self) -> bool {
+        self.gates.iter().all(|g| g.ok)
+    }
+
+    /// Number of failing gates.
+    pub fn regressions(&self) -> usize {
+        self.gates.iter().filter(|g| !g.ok).count()
+    }
+}
+
+impl History {
+    /// Scan `root` for `BENCH_<n>.json` files and load them in order.
+    /// Unparseable files are errors; an empty directory yields an empty
+    /// history (callers decide whether that is fatal).
+    pub fn load(root: &Path) -> Result<History, String> {
+        let mut snapshots = Vec::new();
+        let entries = std::fs::read_dir(root).map_err(|e| format!("{}: {e}", root.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(index) = name
+                .strip_prefix("BENCH_")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            snapshots.push(Snapshot::load(index, &entry.path())?);
+        }
+        snapshots.sort_by_key(|s| s.index);
+        Ok(History { snapshots })
+    }
+
+    /// The most recent snapshot.
+    pub fn latest(&self) -> Option<&Snapshot> {
+        self.snapshots.last()
+    }
+
+    /// The next free snapshot index (`latest + 1`, or 1 when empty).
+    pub fn next_index(&self) -> u64 {
+        self.latest().map_or(1, |s| s.index + 1)
+    }
+
+    /// Every metric key recorded by any snapshot, config keys excluded.
+    pub fn metric_keys(&self) -> Vec<String> {
+        let mut keys = BTreeSet::new();
+        for s in &self.snapshots {
+            for k in s.values.keys() {
+                if direction(k) != Direction::Config {
+                    keys.insert(k.clone());
+                }
+            }
+        }
+        keys.into_iter().collect()
+    }
+
+    /// Gate fresh measurements against the latest committed snapshot:
+    /// each `(key, fresh)` whose committed value exists and is positive
+    /// must satisfy `fresh / committed >= tolerance`.
+    pub fn check(&self, fresh: &[(&str, f64)], tolerance: f64) -> CheckOutcome {
+        let mut outcome = CheckOutcome {
+            baseline: self.latest().map(|s| s.path.clone()),
+            gates: Vec::new(),
+            skipped: Vec::new(),
+        };
+        for &(key, value) in fresh {
+            let committed = self.latest().and_then(|s| s.get(key)).unwrap_or(0.0);
+            if committed <= 0.0 {
+                outcome.skipped.push(key.to_string());
+                continue;
+            }
+            let ratio = value / committed;
+            outcome.gates.push(Gate {
+                key: key.to_string(),
+                fresh: value,
+                committed,
+                ratio,
+                ok: ratio >= tolerance,
+            });
+        }
+        outcome
+    }
+
+    /// Markdown dashboard: one sparkline row per metric across the whole
+    /// history, the latest value, and its delta against the previous
+    /// snapshot classified by [`direction`].
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Bench history ({} snapshots)\n\n",
+            self.snapshots.len()
+        ));
+        if self.snapshots.is_empty() {
+            out.push_str("_No committed BENCH_<n>.json snapshots found._\n");
+            return out;
+        }
+        let indices: Vec<String> = self.snapshots.iter().map(|s| s.index.to_string()).collect();
+        out.push_str(&format!("Snapshots: {}\n\n", indices.join(" → ")));
+        out.push_str("| metric | trend | latest | vs prev | reading |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for key in self.metric_keys() {
+            let series: Vec<Option<f64>> = self.snapshots.iter().map(|s| s.get(&key)).collect();
+            let latest = series.iter().rev().flatten().next().copied();
+            let Some(latest) = latest else { continue };
+            let prev = previous_value(&series);
+            let (delta, reading) = match prev {
+                Some(p) if p != 0.0 => {
+                    let pct = (latest - p) / p * 100.0;
+                    (format!("{pct:+.1}%"), classify(&key, pct))
+                }
+                _ => ("new".to_string(), "—".to_string()),
+            };
+            out.push_str(&format!(
+                "| {key} | `{}` | {} | {delta} | {reading} |\n",
+                sparkline(&series),
+                fmt_value(latest),
+            ));
+        }
+        // Overhead-ratio lineage: each instrumentation layer's off-cost
+        // ratio, from the snapshot that introduced it onward.
+        let ratios: Vec<String> = self
+            .metric_keys()
+            .into_iter()
+            .filter(|k| k.ends_with("_overhead_ratio"))
+            .collect();
+        if !ratios.is_empty() {
+            out.push_str("\n### Overhead-ratio lineage\n\n");
+            out.push_str(
+                "Each instrumentation layer must stay near 1.0 when \
+                 disabled; the ratio compares exchange throughput with \
+                 the layer's plumbing present-but-off against the \
+                 snapshot that predates it.\n\n",
+            );
+            let mut header = String::from("| snapshot |");
+            for r in &ratios {
+                header.push_str(&format!(" {r} |"));
+            }
+            out.push_str(&header);
+            out.push('\n');
+            out.push_str(&format!("|---|{}\n", "---|".repeat(ratios.len())));
+            for s in &self.snapshots {
+                let mut row = format!("| {} |", s.index);
+                for r in &ratios {
+                    match s.get(r) {
+                        Some(v) => row.push_str(&format!(" {v:.3} |")),
+                        None => row.push_str(" — |"),
+                    }
+                }
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// JSON trajectory: the full per-snapshot values plus per-metric
+    /// latest/delta summaries, for machine consumers (CI artifacts).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"snapshots\": [\n");
+        for (i, s) in self.snapshots.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"index\": {}, \"path\": {}, \"values\": {{",
+                s.index,
+                figures::json::escape(&s.path.display().to_string())
+            ));
+            for (j, (k, v)) in s.values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", figures::json::escape(k), number(*v)));
+            }
+            out.push_str("}}");
+            out.push_str(if i + 1 < self.snapshots.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"metrics\": {\n");
+        let keys = self.metric_keys();
+        for (i, key) in keys.iter().enumerate() {
+            let series: Vec<Option<f64>> = self.snapshots.iter().map(|s| s.get(key)).collect();
+            let latest = series.iter().rev().flatten().next().copied().unwrap_or(0.0);
+            let prev = previous_value(&series);
+            let delta_pct = match prev {
+                Some(p) if p != 0.0 => (latest - p) / p * 100.0,
+                _ => 0.0,
+            };
+            out.push_str(&format!(
+                "    {}: {{\"latest\": {}, \"delta_pct\": {}}}",
+                figures::json::escape(key),
+                number(latest),
+                number(delta_pct)
+            ));
+            out.push_str(if i + 1 < keys.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// The last value before the final present one (the "previous snapshot"
+/// a delta compares against).
+fn previous_value(series: &[Option<f64>]) -> Option<f64> {
+    series.iter().rev().flatten().nth(1).copied()
+}
+
+/// Human verdict for a percent move in `key`.
+fn classify(key: &str, pct: f64) -> String {
+    const NOISE_PCT: f64 = 5.0;
+    if pct.abs() <= NOISE_PCT {
+        return "steady".to_string();
+    }
+    match direction(key) {
+        Direction::HigherIsBetter => {
+            if pct > 0.0 {
+                "improvement"
+            } else {
+                "regression"
+            }
+        }
+        Direction::LowerIsBetter => {
+            if pct < 0.0 {
+                "improvement"
+            } else {
+                "regression"
+            }
+        }
+        Direction::NearOne => "drift",
+        Direction::Config => "—",
+    }
+    .to_string()
+}
+
+/// Eight-level sparkline over the present values; missing entries render
+/// as `·`.
+fn sparkline(series: &[Option<f64>]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let present: Vec<f64> = series.iter().flatten().copied().collect();
+    let (lo, hi) = present
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    series
+        .iter()
+        .map(|v| match v {
+            None => '·',
+            Some(x) => {
+                if hi <= lo {
+                    BARS[3]
+                } else {
+                    let t = ((x - lo) / (hi - lo) * 7.0).round() as usize;
+                    BARS[t.min(7)]
+                }
+            }
+        })
+        .collect()
+}
+
+/// Compact value formatting: large throughputs get thousands separators
+/// dropped in favor of engineering notation; small numbers keep 3 d.p.
+fn fmt_value(v: f64) -> String {
+    if v.abs() >= 1e6 {
+        format!(
+            "{:.2}e{}",
+            v / 10f64.powi(v.abs().log10() as i32),
+            v.abs().log10() as i32
+        )
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// JSON number formatting shared with the exporters: finite, trailing
+/// precision trimmed.
+fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(index: u64, pairs: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            index,
+            path: PathBuf::from(format!("BENCH_{index}.json")),
+            values: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn loads_committed_history_in_order() {
+        // The repo root carries the real snapshots this dashboard serves.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap();
+        let h = History::load(root).expect("history parses");
+        assert!(h.snapshots.len() >= 4, "expected committed snapshots");
+        let indices: Vec<u64> = h.snapshots.iter().map(|s| s.index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
+        assert_eq!(h.next_index(), indices.last().unwrap() + 1);
+        assert!(h.latest().unwrap().get("stencil_fast_gf").unwrap() > 0.0);
+        let md = h.render_markdown();
+        assert!(md.contains("stencil_fast_gf"), "{md}");
+        assert!(md.contains("Overhead-ratio lineage"), "{md}");
+        let json = h.render_json();
+        let doc = Value::parse(&json).expect("valid json");
+        assert!(doc["snapshots"].as_array().unwrap().len() >= 4);
+    }
+
+    #[test]
+    fn direction_classification_follows_naming() {
+        assert_eq!(direction("grid"), Direction::Config);
+        assert_eq!(direction("sweep_threads"), Direction::Config);
+        assert_eq!(direction("tracing_off_overhead_ratio"), Direction::NearOne);
+        assert_eq!(
+            direction("figures_report_seconds"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction("stencil_fast_gf"), Direction::HigherIsBetter);
+    }
+
+    #[test]
+    fn check_gates_against_latest_and_skips_missing() {
+        let h = History {
+            snapshots: vec![
+                snap(1, &[("stencil_fast_gf", 20.0)]),
+                snap(2, &[("stencil_fast_gf", 10.0)]),
+            ],
+        };
+        let outcome = h.check(
+            &[("stencil_fast_gf", 9.0), ("exchange_values_per_sec", 1e8)],
+            0.75,
+        );
+        // Gate compares against snapshot 2 (10.0), not snapshot 1 (20.0).
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(outcome.gates.len(), 1);
+        assert!((outcome.gates[0].ratio - 0.9).abs() < 1e-12);
+        assert_eq!(outcome.skipped, vec!["exchange_values_per_sec"]);
+
+        let fail = h.check(&[("stencil_fast_gf", 5.0)], 0.75);
+        assert!(!fail.passed());
+        assert_eq!(fail.regressions(), 1);
+    }
+
+    #[test]
+    fn markdown_classifies_regressions_and_improvements() {
+        let h = History {
+            snapshots: vec![
+                snap(
+                    1,
+                    &[("stencil_fast_gf", 10.0), ("figures_report_seconds", 1.0)],
+                ),
+                snap(
+                    2,
+                    &[("stencil_fast_gf", 5.0), ("figures_report_seconds", 0.5)],
+                ),
+            ],
+        };
+        let md = h.render_markdown();
+        assert!(md.contains("regression"), "{md}");
+        assert!(md.contains("improvement"), "{md}");
+        // Sparkline endpoints: low bar then high bar (or inverse).
+        assert!(md.contains('█') && md.contains('▁'), "{md}");
+    }
+
+    #[test]
+    fn sparkline_handles_gaps_and_flat_series() {
+        assert_eq!(sparkline(&[Some(1.0), None, Some(1.0)]), "▄·▄");
+        assert_eq!(sparkline(&[Some(0.0), Some(7.0)]), "▁█");
+    }
+}

@@ -7,6 +7,8 @@
 use figures::json::Value;
 use std::collections::BTreeSet;
 
+pub mod history;
+
 /// Summary of a validated Chrome-trace document.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceCheck {
@@ -14,6 +16,10 @@ pub struct TraceCheck {
     pub complete_events: usize,
     /// Metadata ("M") events.
     pub meta_events: usize,
+    /// Begin ("B") events (each matched by an "E" on its track).
+    pub begin_events: usize,
+    /// End ("E") events.
+    pub end_events: usize,
     /// Distinct event categories (`cat` fields) present.
     pub categories: BTreeSet<String>,
 }
@@ -27,9 +33,11 @@ impl TraceCheck {
 
 /// Validate a Chrome-trace JSON document as `trace_run` emits it:
 /// well-formed JSON, a `traceEvents` array, every duration event carrying
-/// finite non-negative `ts`/`dur`, and timestamps monotone in file order
+/// finite non-negative timestamps, timestamps monotone in file order
 /// within each `(pid, tid)` track (the property Perfetto's importer
-/// relies on for streaming loads).
+/// relies on for streaming loads), and "B"/"E" begin/end events properly
+/// nested per track — every "E" closes the most recent open "B" of the
+/// same name, and no "B" is left open at the end of the document.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     let doc = Value::parse(text)?;
     let events = doc["traceEvents"]
@@ -38,46 +46,189 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     let mut check = TraceCheck {
         complete_events: 0,
         meta_events: 0,
+        begin_events: 0,
+        end_events: 0,
         categories: BTreeSet::new(),
     };
     let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    let mut open: std::collections::BTreeMap<(u64, u64), Vec<String>> = Default::default();
     for (i, e) in events.iter().enumerate() {
         let ph = e["ph"].as_str().ok_or(format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            check.meta_events += 1;
+            continue;
+        }
+        if !matches!(ph, "X" | "B" | "E") {
+            return Err(format!("event {i}: unexpected ph {ph:?}"));
+        }
+        let name = e["name"].as_str().ok_or(format!("event {i}: no name"))?;
+        if name.is_empty() {
+            return Err(format!("event {i}: empty name"));
+        }
+        if let Some(cat) = e["cat"].as_str() {
+            check.categories.insert(cat.to_string());
+        }
+        let num = |k: &str| {
+            e[k].as_f64()
+                .filter(|v| v.is_finite())
+                .ok_or(format!("event {i}: bad {k}"))
+        };
+        let (pid, tid) = (num("pid")? as u64, num("tid")? as u64);
+        let ts = num("ts")?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts"));
+        }
+        let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+        if ts < *prev {
+            return Err(format!(
+                "event {i}: track ({pid},{tid}) timestamps not monotone \
+                 ({ts} after {prev})"
+            ));
+        }
+        *prev = ts;
         match ph {
-            "M" => check.meta_events += 1,
             "X" => {
                 check.complete_events += 1;
-                let name = e["name"].as_str().ok_or(format!("event {i}: no name"))?;
-                if name.is_empty() {
-                    return Err(format!("event {i}: empty name"));
+                if num("dur")? < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
                 }
-                if let Some(cat) = e["cat"].as_str() {
-                    check.categories.insert(cat.to_string());
-                }
-                let num = |k: &str| {
-                    e[k].as_f64()
-                        .filter(|v| v.is_finite())
-                        .ok_or(format!("event {i}: bad {k}"))
-                };
-                let (pid, tid) = (num("pid")? as u64, num("tid")? as u64);
-                let (ts, dur) = (num("ts")?, num("dur")?);
-                if ts < 0.0 || dur < 0.0 {
-                    return Err(format!("event {i}: negative ts/dur"));
-                }
-                let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
-                if ts < *prev {
-                    return Err(format!(
-                        "event {i}: track ({pid},{tid}) timestamps not monotone \
-                         ({ts} after {prev})"
-                    ));
-                }
-                *prev = ts;
             }
-            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+            "B" => {
+                check.begin_events += 1;
+                open.entry((pid, tid)).or_default().push(name.to_string());
+            }
+            "E" => {
+                check.end_events += 1;
+                let stack = open.entry((pid, tid)).or_default();
+                match stack.pop() {
+                    None => {
+                        return Err(format!(
+                            "event {i}: track ({pid},{tid}) \"E\" {name:?} \
+                             without an open \"B\""
+                        ));
+                    }
+                    Some(top) if top != name => {
+                        return Err(format!(
+                            "event {i}: track ({pid},{tid}) \"E\" {name:?} \
+                             closes mismatched \"B\" {top:?}"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            _ => unreachable!(),
         }
     }
-    if check.complete_events == 0 {
+    for ((pid, tid), stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("track ({pid},{tid}): \"B\" {name:?} never closed"));
+        }
+    }
+    if check.complete_events == 0 && check.begin_events == 0 {
         return Err("no duration events".into());
+    }
+    Ok(check)
+}
+
+/// Summary of a validated Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromCheck {
+    /// Total sample lines.
+    pub samples: usize,
+    /// Families declared `# TYPE ... counter`.
+    pub counters: usize,
+    /// Families declared `# TYPE ... gauge`.
+    pub gauges: usize,
+    /// Families declared `# TYPE ... histogram`.
+    pub histograms: usize,
+    /// Histogram families whose `_count` total is nonzero.
+    pub non_empty_histograms: usize,
+}
+
+/// Validate a Prometheus text exposition as the metrics registry renders
+/// it: every sample belongs to a family with a preceding `# TYPE` line,
+/// values parse as finite numbers, and each histogram's bucket series is
+/// cumulative (monotone in file order, capped by its `_count`).
+pub fn validate_prometheus(text: &str) -> Result<PromCheck, String> {
+    let mut check = PromCheck {
+        samples: 0,
+        counters: 0,
+        gauges: 0,
+        histograms: 0,
+        non_empty_histograms: 0,
+    };
+    let mut types: std::collections::BTreeMap<String, String> = Default::default();
+    // Per histogram family: last bucket value seen, running count total.
+    let mut last_bucket: std::collections::BTreeMap<String, f64> = Default::default();
+    let mut hist_count: std::collections::BTreeMap<String, f64> = Default::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with("# HELP") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().ok_or(format!("line {lineno}: bare TYPE"))?;
+            let kind = parts
+                .next()
+                .ok_or(format!("line {lineno}: TYPE without kind"))?;
+            match kind {
+                "counter" => check.counters += 1,
+                "gauge" => check.gauges += 1,
+                "histogram" => check.histograms += 1,
+                other => return Err(format!("line {lineno}: unknown TYPE {other:?}")),
+            }
+            types.insert(family.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: unexpected comment {line:?}"));
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {lineno}: no value: {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad value {value:?}"))?;
+        if !value.is_finite() {
+            return Err(format!("line {lineno}: non-finite value"));
+        }
+        let name = series.split('{').next().unwrap_or(series);
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(format!("line {lineno}: sample {name:?} has no TYPE"));
+        }
+        check.samples += 1;
+        if types[family] == "histogram" {
+            if name.ends_with("_bucket") {
+                // A new label set restarts the cumulative series at its
+                // first (smallest-le) bucket; within a series buckets
+                // only grow.
+                let prev = last_bucket.entry(family.to_string()).or_insert(0.0);
+                if series.contains("le=\"+Inf\"") {
+                    *prev = 0.0;
+                } else {
+                    if value + 1e-9 < *prev {
+                        return Err(format!(
+                            "line {lineno}: {family} bucket series not \
+                             cumulative ({value} after {prev})"
+                        ));
+                    }
+                    *prev = value;
+                }
+            } else if name.ends_with("_count") {
+                *hist_count.entry(family.to_string()).or_insert(0.0) += value;
+            }
+        }
+    }
+    check.non_empty_histograms = hist_count.values().filter(|&&c| c > 0.0).count();
+    if check.samples == 0 {
+        return Err("no samples".into());
     }
     Ok(check)
 }
@@ -125,5 +276,100 @@ mod tests {
             {"name":"b","cat":"c","ph":"X","pid":0,"tid":2,"ts":2.0,"dur":1.0}
         ]}"#;
         assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn validates_begin_end_pairing() {
+        let ok = r#"{"traceEvents":[
+            {"name":"outer","cat":"c","ph":"B","pid":0,"tid":1,"ts":1.0},
+            {"name":"inner","cat":"c","ph":"B","pid":0,"tid":1,"ts":2.0},
+            {"name":"inner","cat":"c","ph":"E","pid":0,"tid":1,"ts":3.0},
+            {"name":"outer","cat":"c","ph":"E","pid":0,"tid":1,"ts":4.0}
+        ]}"#;
+        let check = validate_chrome_trace(ok).expect("nested B/E valid");
+        assert_eq!(check.begin_events, 2);
+        assert_eq!(check.end_events, 2);
+
+        // The same names interleaved across tracks: stacks are per-track.
+        let cross = r#"{"traceEvents":[
+            {"name":"s","cat":"c","ph":"B","pid":0,"tid":1,"ts":1.0},
+            {"name":"s","cat":"c","ph":"B","pid":0,"tid":2,"ts":1.5},
+            {"name":"s","cat":"c","ph":"E","pid":0,"tid":1,"ts":2.0},
+            {"name":"s","cat":"c","ph":"E","pid":0,"tid":2,"ts":2.5}
+        ]}"#;
+        assert!(validate_chrome_trace(cross).is_ok());
+    }
+
+    #[test]
+    fn rejects_broken_begin_end_fixtures() {
+        // E without a B.
+        let orphan = r#"{"traceEvents":[
+            {"name":"s","cat":"c","ph":"E","pid":0,"tid":1,"ts":1.0}
+        ]}"#;
+        let err = validate_chrome_trace(orphan).unwrap_err();
+        assert!(err.contains("without an open"), "{err}");
+
+        // E closing the wrong B (improper interleaving on one track).
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","cat":"c","ph":"B","pid":0,"tid":1,"ts":1.0},
+            {"name":"b","cat":"c","ph":"B","pid":0,"tid":1,"ts":2.0},
+            {"name":"a","cat":"c","ph":"E","pid":0,"tid":1,"ts":3.0}
+        ]}"#;
+        let err = validate_chrome_trace(crossed).unwrap_err();
+        assert!(err.contains("mismatched"), "{err}");
+
+        // B never closed.
+        let unclosed = r#"{"traceEvents":[
+            {"name":"a","cat":"c","ph":"B","pid":0,"tid":1,"ts":1.0}
+        ]}"#;
+        let err = validate_chrome_trace(unclosed).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+
+        // B/E timestamps share the per-track monotonicity requirement.
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","cat":"c","ph":"B","pid":0,"tid":1,"ts":5.0},
+            {"name":"a","cat":"c","ph":"E","pid":0,"tid":1,"ts":4.0}
+        ]}"#;
+        let err = validate_chrome_trace(backwards).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn validates_registry_prometheus_output() {
+        let m = obs::registry::Metrics::on();
+        let c = m.counter("advect_test_total", "help", &[("rank", "0".into())]);
+        c.add(3);
+        let g = m.gauge("advect_test_pending", "help", &[]);
+        g.set(-2);
+        let h = m.histogram("advect_test_ns", "help", &[("rank", "1".into())]);
+        for v in [5u64, 90, 4000, 4100] {
+            h.observe(v);
+        }
+        let empty = m.histogram("advect_idle_ns", "help", &[]);
+        let _ = empty;
+        let text = m.render_prometheus();
+        let check = validate_prometheus(&text).expect("valid exposition");
+        assert_eq!(check.counters, 1);
+        assert_eq!(check.gauges, 1);
+        assert_eq!(check.histograms, 2);
+        assert_eq!(check.non_empty_histograms, 1);
+        assert!(check.samples >= 6);
+    }
+
+    #[test]
+    fn rejects_malformed_prometheus() {
+        assert!(validate_prometheus("").is_err());
+        let no_type = "advect_x_total 3\n";
+        let err = validate_prometheus(no_type).unwrap_err();
+        assert!(err.contains("no TYPE"), "{err}");
+        let non_cumulative = "\
+# TYPE advect_h_ns histogram
+advect_h_ns_bucket{le=\"1\"} 5
+advect_h_ns_bucket{le=\"2\"} 3
+";
+        let err = validate_prometheus(non_cumulative).unwrap_err();
+        assert!(err.contains("cumulative"), "{err}");
+        let bad_value = "# TYPE advect_c_total counter\nadvect_c_total abc\n";
+        assert!(validate_prometheus(bad_value).is_err());
     }
 }

@@ -53,6 +53,7 @@ impl SoakConfig {
             .with_threads(self.threads)
             .with_block((8, 8))
             .with_thickness(1)
+            .with_metrics(true)
             .with_faults(fault);
         if im.uses_mpi() {
             cfg = cfg.tasks(self.tasks);
@@ -79,6 +80,12 @@ pub struct ImplFaults {
     pub max_stall_ns: u64,
     /// Straggler compute + allreduce stall sleep, nanoseconds.
     pub throttle_ns: u64,
+    /// Distribution of bounded-wait stalls (each timeout expiry records
+    /// the receive's blocked time so far), merged across runs.
+    pub stall: obs::registry::HistogramSnapshot,
+    /// Distribution of total stall time behind each redelivered message,
+    /// merged across runs.
+    pub redeliver_latency: obs::registry::HistogramSnapshot,
 }
 
 impl ImplFaults {
@@ -89,6 +96,13 @@ impl ImplFaults {
         self.retries += report.total_retries();
         self.max_stall_ns = self.max_stall_ns.max(report.max_stall_ns());
         self.throttle_ns += report.total_throttle_ns();
+        self.stall
+            .merge(&report.metrics.histogram_snapshot("advect_fault_stall_ns"));
+        self.redeliver_latency.merge(
+            &report
+                .metrics
+                .histogram_snapshot("advect_fault_redeliver_latency_ns"),
+        );
     }
 }
 
@@ -137,7 +151,10 @@ impl SoakReport {
         for (i, f) in self.per_impl.iter().enumerate() {
             s.push_str(&format!(
                 "    \"{}\": {{\"runs\": {}, \"delayed\": {}, \"redelivered\": {}, \
-                 \"retries\": {}, \"max_stall_ns\": {}, \"throttle_ns\": {}}}{}\n",
+                 \"retries\": {}, \"max_stall_ns\": {}, \"throttle_ns\": {}, \
+                 \"stall_p50_ns\": {}, \"stall_p95_ns\": {}, \"stall_p99_ns\": {}, \
+                 \"redeliver_p50_ns\": {}, \"redeliver_p95_ns\": {}, \
+                 \"redeliver_p99_ns\": {}}}{}\n",
                 f.slug,
                 f.runs,
                 f.delayed,
@@ -145,6 +162,12 @@ impl SoakReport {
                 f.retries,
                 f.max_stall_ns,
                 f.throttle_ns,
+                f.stall.quantile(0.5),
+                f.stall.quantile(0.95),
+                f.stall.quantile(0.99),
+                f.redeliver_latency.quantile(0.5),
+                f.redeliver_latency.quantile(0.95),
+                f.redeliver_latency.quantile(0.99),
                 if i + 1 < self.per_impl.len() { "," } else { "" }
             ));
         }
@@ -172,16 +195,34 @@ impl SoakReport {
             self.runs,
             self.mismatches.len()
         ));
-        s.push_str("| implementation | runs | delayed | redelivered | retries | max stall (us) | throttle (ms) |\n");
-        s.push_str("|---|---|---|---|---|---|---|\n");
+        s.push_str(
+            "| implementation | runs | delayed | redelivered | retries | \
+             stall p50/p95/p99 (us) | redeliver p50/p95/p99 (us) | \
+             max stall (us) | throttle (ms) |\n",
+        );
+        s.push_str("|---|---|---|---|---|---|---|---|---|\n");
+        let pcts = |h: &obs::registry::HistogramSnapshot| {
+            if h.count == 0 {
+                "—".to_string()
+            } else {
+                format!(
+                    "{:.0}/{:.0}/{:.0}",
+                    h.quantile(0.5) as f64 / 1e3,
+                    h.quantile(0.95) as f64 / 1e3,
+                    h.quantile(0.99) as f64 / 1e3,
+                )
+            }
+        };
         for f in &self.per_impl {
             s.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {:.0} | {:.1} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.1} |\n",
                 f.slug,
                 f.runs,
                 f.delayed,
                 f.redelivered,
                 f.retries,
+                pcts(&f.stall),
+                pcts(&f.redeliver_latency),
                 f.max_stall_ns as f64 / 1e3,
                 f.throttle_ns as f64 / 1e6,
             ));
@@ -258,6 +299,34 @@ mod tests {
         assert!(delayed > 0, "chaos sweep held no messages");
         let throttled: u64 = report.per_impl.iter().map(|f| f.throttle_ns).sum();
         assert!(throttled > 0, "chaos sweep throttled no stragglers");
+        // The stall histograms ride along from the per-run registries;
+        // any delayed delivery that fired a bounded-wait timeout must
+        // leave a distribution with sane quantile ordering.
+        let stalls: u64 = report.per_impl.iter().map(|f| f.stall.count).sum();
+        let retries: u64 = report.per_impl.iter().map(|f| f.retries).sum();
+        assert_eq!(stalls, retries, "one stall sample per bounded-wait expiry");
+        for f in &report.per_impl {
+            if f.stall.count > 0 {
+                assert!(f.stall.quantile(0.5) <= f.stall.quantile(0.99));
+                assert!(
+                    f.stall.quantile(0.99) <= 2 * f.max_stall_ns,
+                    "p99 {} vs max {} (log-linear bucket ceiling)",
+                    f.stall.quantile(0.99),
+                    f.max_stall_ns
+                );
+            }
+            // A latency sample lands only when a blocked receive's own
+            // window observes the redelivery (drops resolved between
+            // receives leave no waiter to measure), so the distribution
+            // is bounded by — not equal to — the redelivery count.
+            assert!(
+                f.redeliver_latency.count <= f.redelivered,
+                "{}: {} latency samples for {} redeliveries",
+                f.slug,
+                f.redeliver_latency.count,
+                f.redelivered
+            );
+        }
     }
 
     #[test]
@@ -272,11 +341,14 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"ok\": true"));
         assert!(json.contains("\"hybrid_overlap\""));
+        assert!(json.contains("\"stall_p95_ns\""));
+        assert!(json.contains("\"redeliver_p99_ns\""));
         let md = report.to_markdown();
         for im in Impl::ALL {
             assert!(md.contains(im.slug()), "markdown missing {}", im.slug());
         }
         assert!(md.contains("bit-identical"));
+        assert!(md.contains("stall p50/p95/p99"), "{md}");
         // A mismatch flips ok() and shows up in both renderings.
         report.mismatches.push("synthetic".to_string());
         assert!(!report.ok());

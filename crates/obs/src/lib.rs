@@ -30,10 +30,20 @@
 //!   ran concurrently with the other resource).
 //! * [`breakdown`] — the per-rank phase-breakdown table mirroring the
 //!   paper's "where does a step spend its time" analysis.
+//! * [`registry`] — the runtime metrics registry: lock-free counters,
+//!   gauges, and log-linear latency histograms with Prometheus-text and
+//!   JSON exporters, following the same zero-cost-off contract as the
+//!   tracer (proven by [`registry::metric_states_allocated`]).
+//! * [`critical`] — critical-path extraction: charges every instant of a
+//!   trace to its most-binding span and reports the per-category
+//!   attribution plus the slack (fully hidden) spans, turning the
+//!   paper's "off the critical path" claim into a checkable table.
 
 pub mod breakdown;
 pub mod chrome;
+pub mod critical;
 pub mod metrics;
+pub mod registry;
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};

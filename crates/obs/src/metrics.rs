@@ -213,4 +213,68 @@ mod tests {
         assert_eq!(a.both, 1.5);
         assert_eq!(a.makespan, 3.0);
     }
+
+    #[test]
+    fn empty_trace_yields_finite_zeroes() {
+        let p = pair_overlap(
+            &trace_with(vec![]),
+            Resource::Compute,
+            Resource::Mpi,
+            Axis::Wall,
+        );
+        assert_eq!(p.busy_a, 0.0);
+        assert_eq!(p.busy_b, 0.0);
+        assert_eq!(p.both, 0.0);
+        assert_eq!(p.makespan, 0.0);
+        // Zero busy / zero makespan must degrade to 0.0, never NaN.
+        assert_eq!(p.efficiency(), 0.0);
+        assert_eq!(p.utilization(), 0.0);
+        let all = pair_overlap_all(&[], Resource::Compute, Resource::Mpi, Axis::Wall);
+        assert_eq!(all.efficiency(), 0.0);
+        assert_eq!(all.utilization(), 0.0);
+    }
+
+    #[test]
+    fn one_sided_busy_time_keeps_ratios_finite() {
+        // Compute busy, MPI never active: the scarcer resource has zero
+        // busy time, so efficiency is 0.0 by definition (not 0/0).
+        let t = trace_with(vec![Span::wall(Category::ComputeInterior, "c", 0, 0, 100)]);
+        let p = pair_overlap(&t, Resource::Compute, Resource::Mpi, Axis::Wall);
+        assert!(p.busy_a > 0.0);
+        assert_eq!(p.busy_b, 0.0);
+        assert_eq!(p.efficiency(), 0.0);
+        assert!(p.efficiency().is_finite());
+        assert!((p.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_over_mixed_axis_inputs() {
+        // A wall-axis pair and a virtual-axis pair accumulate into one
+        // report without poisoning each other's ratios.
+        let wall = trace_with(vec![
+            Span::wall(Category::ComputeInterior, "c", 0, 0, 100),
+            Span::wall(Category::MpiSend, "s", 0, 50, 150),
+        ]);
+        let virt = trace_with(vec![
+            Span::virtual_span(Category::ComputeInterior, "k", 0, 0.0, 4.0),
+            Span::virtual_span(Category::PcieH2d, "x", 1, 1.0, 2.0),
+        ]);
+        let mut acc = pair_overlap(&wall, Resource::Compute, Resource::Mpi, Axis::Wall);
+        acc.accumulate(&pair_overlap(
+            &virt,
+            Resource::Compute,
+            Resource::Pcie,
+            Axis::Virtual,
+        ));
+        assert!((acc.busy_a - (100e-9 + 4.0)).abs() < 1e-9);
+        assert!((acc.both - (50e-9 + 1.0)).abs() < 1e-9);
+        assert!(acc.makespan >= 4.0);
+        assert!(acc.efficiency() > 0.0 && acc.efficiency() <= 1.0);
+        assert!(acc.utilization() > 1.0, "overlapping pair exceeds 1.0");
+        assert!(acc.utilization().is_finite());
+        // Accumulating an all-zero report is the identity.
+        let before = (acc.busy_a, acc.busy_b, acc.both, acc.makespan);
+        acc.accumulate(&PairOverlap::default());
+        assert_eq!(before, (acc.busy_a, acc.busy_b, acc.both, acc.makespan));
+    }
 }

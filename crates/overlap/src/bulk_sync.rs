@@ -26,9 +26,12 @@ impl BulkSyncMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let metrics_ref = &metrics;
         let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
-            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
+            let tracer = crate::runner::rank_instruments(cfg, comm, anchor, metrics_ref);
             let rank = comm.rank();
+            let step_hist = crate::runner::step_histogram(metrics_ref, "bulk_sync", rank);
             let sub = decomp_ref.subdomains[rank];
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
@@ -39,6 +42,7 @@ impl BulkSyncMpi {
             let region = cur.interior_range();
             comm.barrier(); // the paper barriers before starting the timer
             for _ in 0..cfg.steps {
+                let step_t0 = step_hist.start();
                 // Step 1: full exchange, master thread drives communication.
                 exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 // Step 2: stencil over the whole interior, threaded by z-slab.
@@ -61,6 +65,7 @@ impl BulkSyncMpi {
                     });
                 }
                 comm.throttle_end(throttle);
+                step_hist.observe_since(step_t0);
             }
             comm.barrier();
             (
@@ -71,7 +76,7 @@ impl BulkSyncMpi {
                 crate::runner::finish_trace(&tracer),
             )
         });
-        crate::runner::collect_report(results)
+        crate::runner::collect_report(results, metrics)
     }
 }
 

@@ -40,9 +40,12 @@ impl DeepHaloBulkSync {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let metrics_ref = &metrics;
         let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
-            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
+            let tracer = crate::runner::rank_instruments(cfg, comm, anchor, metrics_ref);
             let rank = comm.rank();
+            let step_hist = crate::runner::step_histogram(metrics_ref, "deep_halo", rank);
             let sub = decomp_ref.subdomains[rank];
             let (nx, ny, nz) = sub.extent;
             assert!(
@@ -64,6 +67,7 @@ impl DeepHaloBulkSync {
             comm.barrier();
             let mut remaining = cfg.steps;
             while remaining > 0 {
+                let step_t0 = step_hist.start();
                 exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 let burst = (width as u64).min(remaining);
                 let throttle = comm.throttle_start();
@@ -103,6 +107,7 @@ impl DeepHaloBulkSync {
                 }
                 drop(_span);
                 comm.throttle_end(throttle);
+                step_hist.observe_since(step_t0);
                 remaining -= burst;
             }
             comm.barrier();
@@ -114,7 +119,7 @@ impl DeepHaloBulkSync {
                 crate::runner::finish_trace(&tracer),
             )
         });
-        crate::runner::collect_report(results)
+        crate::runner::collect_report(results, metrics)
     }
 
     /// Redundant points computed per interior point per step for halo

@@ -31,12 +31,16 @@ impl GpuBulkSyncMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let metrics_ref = &metrics;
         let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
-            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
+            let tracer = crate::runner::rank_instruments(cfg, comm, anchor, metrics_ref);
             let rank = comm.rank();
+            let step_hist = crate::runner::step_histogram(metrics_ref, "gpu_bulk_sync", rank);
             let sub = decomp_ref.subdomains[rank];
             let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu.for_rank(rank));
             gpu.install_tracer(tracer.clone());
+            gpu.install_metrics(metrics_ref, rank);
             gpu.set_constant(cfg.problem.stencil().a);
             // Host mirror: only its skin and halos are kept current.
             let mut host = local_initial_field(cfg, decomp_ref, rank);
@@ -48,6 +52,7 @@ impl GpuBulkSyncMpi {
             let halo_bufs = HaloBuffers::new(&plan, comm);
             comm.barrier();
             for _ in 0..cfg.steps {
+                let step_t0 = step_hist.start();
                 // CPU copies boundary buffers from the GPU...
                 dev.regions_d2h(
                     &gpu,
@@ -93,6 +98,7 @@ impl GpuBulkSyncMpi {
                 }
                 gpu.sync_device();
                 dev.swap();
+                step_hist.observe_since(step_t0);
             }
             comm.barrier();
             dev.interior_to_host(&gpu, dev.cur, &mut host);
@@ -105,6 +111,6 @@ impl GpuBulkSyncMpi {
                 crate::runner::finish_trace(&tracer),
             )
         });
-        crate::runner::collect_report(results)
+        crate::runner::collect_report(results, metrics)
     }
 }

@@ -30,13 +30,16 @@ impl GpuResident {
         assert_eq!(cfg.ntasks, 1, "IV-E runs on a single task");
         let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu);
         let tracer = obs::Tracer::enabled(cfg.trace, 0, obs::Anchor::now());
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
         gpu.install_tracer(tracer.clone());
+        gpu.install_metrics(&metrics, 0);
         let out = Self::run_on(cfg, &gpu);
         tracer.absorb(&gpu.timeline().to_trace_events());
         let mut report = RunReport {
             comm: vec![simmpi::CommStats::default()],
             fault: vec![simmpi::FaultStats::default()],
             gpu: vec![gpu.stats()],
+            metrics,
             ..RunReport::default()
         };
         if let Some(t) = crate::runner::finish_trace(&tracer) {

@@ -29,12 +29,16 @@ impl GpuStreamsMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let metrics_ref = &metrics;
         let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
-            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
+            let tracer = crate::runner::rank_instruments(cfg, comm, anchor, metrics_ref);
             let rank = comm.rank();
+            let step_hist = crate::runner::step_histogram(metrics_ref, "gpu_streams", rank);
             let sub = decomp_ref.subdomains[rank];
             let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu.for_rank(rank));
             gpu.install_tracer(tracer.clone());
+            gpu.install_metrics(metrics_ref, rank);
             gpu.set_constant(cfg.problem.stencil().a);
             let mut host = local_initial_field(cfg, decomp_ref, rank);
             let mut dev = DeviceField::from_host(&gpu, &host);
@@ -44,6 +48,7 @@ impl GpuStreamsMpi {
             let s_halo = gpu.create_stream();
             comm.barrier();
             for _ in 0..cfg.steps {
+                let step_t0 = step_hist.start();
                 // Interior kernel first, on the default stream: it overlaps
                 // everything the halo stream does below.
                 if !part.gpu_deep_interior.is_empty() {
@@ -84,6 +89,7 @@ impl GpuStreamsMpi {
                 // The CPU ends the time step by synchronizing the streams.
                 gpu.sync_device();
                 dev.swap();
+                step_hist.observe_since(step_t0);
             }
             comm.barrier();
             dev.interior_to_host(&gpu, dev.cur, &mut host);
@@ -96,6 +102,6 @@ impl GpuStreamsMpi {
                 crate::runner::finish_trace(&tracer),
             )
         });
-        crate::runner::collect_report(results)
+        crate::runner::collect_report(results, metrics)
     }
 }

@@ -33,12 +33,16 @@ impl HybridBulkSync {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let metrics_ref = &metrics;
         let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
-            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
+            let tracer = crate::runner::rank_instruments(cfg, comm, anchor, metrics_ref);
             let rank = comm.rank();
+            let step_hist = crate::runner::step_histogram(metrics_ref, "hybrid_bulk_sync", rank);
             let sub = decomp_ref.subdomains[rank];
             let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu.for_rank(rank));
             gpu.install_tracer(tracer.clone());
+            gpu.install_metrics(metrics_ref, rank);
             gpu.set_constant(cfg.problem.stencil().a);
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
@@ -50,6 +54,7 @@ impl HybridBulkSync {
             let stencil = cfg.problem.stencil();
             comm.barrier();
             for _ in 0..cfg.steps {
+                let step_t0 = step_hist.start();
                 // Inner exchange: GPU boundary ring to the CPU...
                 dev.regions_d2h(
                     &gpu,
@@ -115,6 +120,7 @@ impl HybridBulkSync {
                 comm.throttle_end(throttle);
                 gpu.sync_device();
                 dev.swap();
+                step_hist.observe_since(step_t0);
             }
             comm.barrier();
             // Pull the GPU block into the host state for verification.
@@ -137,6 +143,6 @@ impl HybridBulkSync {
                 crate::runner::finish_trace(&tracer),
             )
         });
-        crate::runner::collect_report(results)
+        crate::runner::collect_report(results, metrics)
     }
 }

@@ -52,12 +52,16 @@ impl HybridOverlap {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let metrics_ref = &metrics;
         let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
-            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
+            let tracer = crate::runner::rank_instruments(cfg, comm, anchor, metrics_ref);
             let rank = comm.rank();
+            let step_hist = crate::runner::step_histogram(metrics_ref, "hybrid_overlap", rank);
             let sub = decomp_ref.subdomains[rank];
             let gpu = Gpu::new(spec.clone()).with_fault_plan(cfg.fault.gpu.for_rank(rank));
             gpu.install_tracer(tracer.clone());
+            gpu.install_metrics(metrics_ref, rank);
             gpu.set_constant(cfg.problem.stencil().a);
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
@@ -74,6 +78,7 @@ impl HybridOverlap {
             let s_halo = gpu.create_stream();
             comm.barrier();
             for _ in 0..cfg.steps {
+                let step_t0 = step_hist.start();
                 // 1. GPU interior kernel on the compute stream.
                 if !part.gpu_deep_interior.is_empty() {
                     gpu.launch_stencil(
@@ -189,6 +194,7 @@ impl HybridOverlap {
                     cur.copy_region_from(&new, *r);
                 }
                 dev.swap();
+                step_hist.observe_since(step_t0);
             }
             comm.barrier();
             let mut final_host = cur.clone();
@@ -208,6 +214,6 @@ impl HybridOverlap {
                 crate::runner::finish_trace(&tracer),
             )
         });
-        crate::runner::collect_report(results)
+        crate::runner::collect_report(results, metrics)
     }
 }

@@ -30,9 +30,12 @@ impl NonblockingMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let metrics_ref = &metrics;
         let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
-            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
+            let tracer = crate::runner::rank_instruments(cfg, comm, anchor, metrics_ref);
             let rank = comm.rank();
+            let step_hist = crate::runner::step_histogram(metrics_ref, "nonblocking", rank);
             let sub = decomp_ref.subdomains[rank];
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
@@ -46,6 +49,7 @@ impl NonblockingMpi {
             let cuts = crate::bulk_sync::z_cuts(sub.extent.2, cfg.threads);
             comm.barrier();
             for _ in 0..cfg.steps {
+                let step_t0 = step_hist.start();
                 // Interleave: initiate phase d, compute interior third d,
                 // complete phase d.
                 for (d, third) in thirds.iter().enumerate() {
@@ -82,6 +86,7 @@ impl NonblockingMpi {
                         copy_region_slab(src, &mut slab, full);
                     });
                 }
+                step_hist.observe_since(step_t0);
             }
             comm.barrier();
             (
@@ -92,6 +97,6 @@ impl NonblockingMpi {
                 crate::runner::finish_trace(&tracer),
             )
         });
-        crate::runner::collect_report(results)
+        crate::runner::collect_report(results, metrics)
     }
 }

@@ -62,6 +62,11 @@ pub struct RunConfig {
     /// Fault injection for the run ([`FaultSpec::off`] by default: no
     /// perturbation, no fault state allocated).
     pub fault: FaultSpec,
+    /// Record runtime metrics during the run ([`RunReport::metrics`]).
+    /// Off by default: the substrates then observe into disabled handles
+    /// and allocate no metric state (see
+    /// [`obs::registry::metric_states_allocated`]).
+    pub metrics: bool,
 }
 
 impl RunConfig {
@@ -77,6 +82,7 @@ impl RunConfig {
             thickness: 2,
             trace: false,
             fault: FaultSpec::off(),
+            metrics: false,
         }
     }
 
@@ -116,6 +122,12 @@ impl RunConfig {
         self
     }
 
+    /// Enable or disable the runtime metrics registry for the run.
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
     /// The decomposition this configuration induces.
     pub fn decomposition(&self) -> Decomposition {
         let n = self.problem.n;
@@ -142,6 +154,13 @@ pub struct RunReport {
     /// spans cover the host's real timing; virtual spans carry the device
     /// timeline bridged through `Timeline::to_trace_events`.
     pub traces: Vec<obs::Trace>,
+    /// The run's metrics registry (disabled unless [`RunConfig::metrics`]):
+    /// per-channel halo-exchange latency/wait/in-flight histograms from
+    /// `simmpi`, kernel and PCIe-transfer histograms from `simgpu`, and
+    /// the per-step `advect_step_ns` histogram every runner observes.
+    /// Render with [`obs::registry::Metrics::render_prometheus`] or
+    /// [`obs::registry::Metrics::render_json`].
+    pub metrics: obs::registry::Metrics,
 }
 
 impl RunReport {
@@ -221,6 +240,14 @@ impl RunReport {
         obs::breakdown::phase_breakdown(&self.traces, axis)
     }
 
+    /// Critical-path attribution over the run's traces on the chosen
+    /// axis: which categories bound the makespan and which spans were
+    /// fully hidden (slack). Requires [`RunConfig::trace`]; empty
+    /// otherwise.
+    pub fn critical_breakdown(&self, axis: obs::Axis) -> obs::critical::CriticalBreakdown {
+        obs::critical::critical_path_breakdown(&self.traces, axis)
+    }
+
     /// Total messages held in limbo by jitter/reorder decisions.
     pub fn total_delayed(&self) -> u64 {
         self.fault.iter().map(|f| f.delayed).sum()
@@ -265,9 +292,16 @@ pub(crate) type RankResult = (
 
 /// Assemble per-rank `(global, comm, fault, gpu, trace)` results into
 /// `(Field3, RunReport)` — shared tail of every implementation's
-/// `run_with_report`.
-pub(crate) fn collect_report(results: Vec<RankResult>) -> (Field3, RunReport) {
-    let mut report = RunReport::default();
+/// `run_with_report`. The run's metrics registry (shared by every rank)
+/// rides along in the report.
+pub(crate) fn collect_report(
+    results: Vec<RankResult>,
+    metrics: obs::registry::Metrics,
+) -> (Field3, RunReport) {
+    let mut report = RunReport {
+        metrics,
+        ..RunReport::default()
+    };
     let mut global = None;
     for (g, c, f, d, t) in results {
         if let Some(g) = g {
@@ -285,14 +319,40 @@ pub(crate) fn collect_report(results: Vec<RankResult>) -> (Field3, RunReport) {
     (global.expect("rank 0 assembles the global state"), report)
 }
 
-/// Per-rank tracer setup shared by every runner: build the rank's
-/// recorder against the run's shared anchor (the no-op sink when
-/// [`RunConfig::trace`] is off) and install it into the communicator so
-/// the `mpi.*`/pack/unpack layers record through it.
-pub(crate) fn rank_tracer(cfg: &RunConfig, comm: &Comm, anchor: obs::Anchor) -> obs::Tracer {
+/// Per-rank instrumentation setup shared by every runner: build the
+/// rank's recorder against the run's shared anchor (the no-op sink when
+/// [`RunConfig::trace`] is off) and install it — together with the run's
+/// metrics registry — into the communicator so the `mpi.*`/pack/unpack
+/// layers record through both.
+pub(crate) fn rank_instruments(
+    cfg: &RunConfig,
+    comm: &Comm,
+    anchor: obs::Anchor,
+    registry: &obs::registry::Metrics,
+) -> obs::Tracer {
     let tracer = obs::Tracer::enabled(cfg.trace, comm.rank(), anchor);
     comm.install_tracer(tracer.clone());
+    comm.install_metrics(registry);
     tracer
+}
+
+/// The per-rank `advect_step_ns{impl,rank}` histogram: wall time per
+/// advection step, observed by every runner's step loop. The off handle
+/// is returned without touching the registry when metrics are disabled,
+/// so unmetered loops never render label strings.
+pub(crate) fn step_histogram(
+    registry: &obs::registry::Metrics,
+    slug: &'static str,
+    rank: usize,
+) -> obs::registry::Histogram {
+    if !registry.is_on() {
+        return obs::registry::Histogram::off();
+    }
+    registry.histogram(
+        "advect_step_ns",
+        "Wall time per advection step, nanoseconds",
+        &[("impl", slug.to_string()), ("rank", rank.to_string())],
+    )
 }
 
 /// The rank's contribution to [`RunReport::traces`]: `Some` only when the

@@ -20,14 +20,20 @@ impl SingleTask {
     pub fn run_with_report(cfg: &RunConfig) -> (Field3, RunReport) {
         assert_eq!(cfg.ntasks, 1, "IV-A is a single-task implementation");
         let tracer = obs::Tracer::enabled(cfg.trace, 0, obs::Anchor::now());
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let step_hist = crate::runner::step_histogram(&metrics, "single_task", 0);
         let mut stepper = ThreadedStepper::new(cfg.problem, cfg.threads);
         for _ in 0..cfg.steps {
+            let step_t0 = step_hist.start();
             let _span = tracer.span(obs::Category::ComputeInterior, "step");
             stepper.step();
+            drop(_span);
+            step_hist.observe_since(step_t0);
         }
         let mut report = RunReport {
             comm: vec![simmpi::CommStats::default()],
             fault: vec![simmpi::FaultStats::default()],
+            metrics,
             ..RunReport::default()
         };
         if let Some(t) = crate::runner::finish_trace(&tracer) {

@@ -38,9 +38,12 @@ impl ThreadOverlapMpi {
         let decomp = cfg.decomposition();
         let decomp_ref = &decomp;
         let anchor = obs::Anchor::now();
+        let metrics = obs::registry::Metrics::enabled(cfg.metrics);
+        let metrics_ref = &metrics;
         let results = World::run_with_faults(cfg.ntasks, cfg.fault.mpi, move |comm| {
-            let tracer = crate::runner::rank_tracer(cfg, comm, anchor);
+            let tracer = crate::runner::rank_instruments(cfg, comm, anchor, metrics_ref);
             let rank = comm.rank();
+            let step_hist = crate::runner::step_histogram(metrics_ref, "thread_overlap", rank);
             let sub = decomp_ref.subdomains[rank];
             let mut cur = local_initial_field(cfg, decomp_ref, rank);
             let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, 1);
@@ -53,6 +56,7 @@ impl ThreadOverlapMpi {
             let cuts = crate::bulk_sync::z_cuts(sub.extent.2, cfg.threads);
             comm.barrier();
             for _ in 0..cfg.steps {
+                let step_t0 = step_hist.start();
                 {
                     let core_planes = (core.z.1 - core.z.0).max(0) as usize;
                     let queue = GuidedChunks::new(0..core_planes, cfg.threads, 1);
@@ -101,6 +105,7 @@ impl ThreadOverlapMpi {
                     });
                 }
                 comm.throttle_end(throttle);
+                step_hist.observe_since(step_t0);
             }
             comm.barrier();
             (
@@ -111,6 +116,6 @@ impl ThreadOverlapMpi {
                 crate::runner::finish_trace(&tracer),
             )
         });
-        crate::runner::collect_report(results)
+        crate::runner::collect_report(results, metrics)
     }
 }

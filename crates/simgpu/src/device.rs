@@ -84,6 +84,18 @@ enum EngineKind {
     CopyD2H,
 }
 
+/// Pre-registered metric handles for one device's scheduled operations
+/// (see [`Gpu::install_metrics`]).
+struct GpuMetrics {
+    /// `advect_gpu_kernel_ns{rank}`: scheduled kernel duration on the
+    /// virtual timeline.
+    kernel_ns: obs::registry::Histogram,
+    /// `advect_pcie_transfer_ns{rank,dir="h2d"}`.
+    h2d_ns: obs::registry::Histogram,
+    /// `advect_pcie_transfer_ns{rank,dir="d2h"}`.
+    d2h_ns: obs::registry::Histogram,
+}
+
 /// A simulated GPU.
 ///
 /// Functionally, every operation executes eagerly in host issue order, so
@@ -104,6 +116,7 @@ pub struct Gpu {
     hazard_check: bool,
     fault: GpuFaultPlan,
     tracer: OnceLock<Tracer>,
+    metrics: OnceLock<GpuMetrics>,
 }
 
 impl Gpu {
@@ -128,6 +141,7 @@ impl Gpu {
             hazard_check: true,
             fault: GpuFaultPlan::off(),
             tracer: OnceLock::new(),
+            metrics: OnceLock::new(),
         }
     }
 
@@ -144,6 +158,35 @@ impl Gpu {
     pub fn tracer(&self) -> &Tracer {
         static OFF: Tracer = Tracer::off();
         self.tracer.get().unwrap_or(&OFF)
+    }
+
+    /// Register this device's scheduling metrics in `registry`: every
+    /// scheduled operation observes its *virtual* duration into
+    /// `advect_gpu_kernel_ns{rank}` (compute engine) or
+    /// `advect_pcie_transfer_ns{rank,dir}` (copy engines). A disabled
+    /// registry installs nothing — unmetered runs pay one `OnceLock`
+    /// load per scheduled op. Idempotent.
+    pub fn install_metrics(&self, registry: &obs::registry::Metrics, rank: usize) {
+        if !registry.is_on() || self.metrics.get().is_some() {
+            return;
+        }
+        let rank = rank.to_string();
+        let transfer = |dir: &str| {
+            registry.histogram(
+                "advect_pcie_transfer_ns",
+                "Scheduled PCIe transfer duration on the virtual timeline, nanoseconds",
+                &[("rank", rank.clone()), ("dir", dir.to_string())],
+            )
+        };
+        let _ = self.metrics.set(GpuMetrics {
+            kernel_ns: registry.histogram(
+                "advect_gpu_kernel_ns",
+                "Scheduled kernel duration on the virtual timeline, nanoseconds",
+                &[("rank", rank.clone())],
+            ),
+            h2d_ns: transfer("h2d"),
+            d2h_ns: transfer("d2h"),
+        });
     }
 
     /// Disable the cross-stream hazard checker (for experiments that
@@ -234,6 +277,14 @@ impl Gpu {
         let end = start + dur;
         g.streams[stream].time = end;
         g.streams[stream].seq += 1;
+        if let Some(m) = self.metrics.get() {
+            let ns = (dur * 1e9) as u64;
+            match kind {
+                EngineKind::Compute => m.kernel_ns.observe(ns),
+                EngineKind::CopyH2D => m.h2d_ns.observe(ns),
+                EngineKind::CopyD2H => m.d2h_ns.observe(ns),
+            }
+        }
         let tl_engine = match kind {
             EngineKind::Compute => {
                 g.compute_free = end;

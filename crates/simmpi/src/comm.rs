@@ -4,6 +4,7 @@ use crate::collectives::{Barrier, ReduceSlots, ScalarSlots};
 use crate::fault::{ns_to_duration, FaultPlan, FaultStats};
 use crate::mailbox::{Mailbox, Message};
 use crate::pool::{BufferPool, PooledBuf};
+use obs::registry::{Counter, Gauge, Histogram, Metrics};
 use obs::{Category, Tracer};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +56,35 @@ pub struct CommStats {
     pub peak_bytes_in_flight: u64,
 }
 
+/// Pre-registered metric handles for one rank's communication traffic.
+/// Allocated once at [`Comm::install_metrics`] (the world size fixes the
+/// per-source vectors), so every observation on the hot path is a
+/// lock-free handle touch and no label strings are ever re-rendered.
+struct CommMetrics {
+    /// `advect_mpi_recv_latency_ns{rank,src}`: post-to-completion
+    /// latency of each receive, indexed by source rank.
+    recv_latency: Vec<Histogram>,
+    /// `advect_mpi_wait_ns{rank,src}`: the blocked portion of each
+    /// receive, indexed by source rank.
+    wait: Vec<Histogram>,
+    /// `advect_mpi_inflight_bytes{rank}`: queued mailbox bytes sampled
+    /// at each receive entry.
+    inflight_bytes: Histogram,
+    /// `advect_mpi_pending_messages{rank}`: queue length at the last
+    /// receive entry.
+    pending_messages: Gauge,
+    /// `advect_mpi_messages_sent_total{rank}`.
+    messages_sent: Counter,
+    /// `advect_mpi_values_sent_total{rank}`.
+    values_sent: Counter,
+    /// `advect_fault_stall_ns{rank}`: duration of each bounded-wait
+    /// expiry before the message arrived.
+    stall: Histogram,
+    /// `advect_fault_redeliver_latency_ns{rank}`: total wait of receives
+    /// that completed only after a redelivery.
+    redeliver_latency: Histogram,
+}
+
 /// A rank's handle to the world: MPI's communicator analogue.
 pub struct Comm {
     rank: usize,
@@ -63,6 +93,7 @@ pub struct Comm {
     fault: Mutex<FaultStats>,
     allreduce_round: AtomicU64,
     tracer: OnceLock<Tracer>,
+    metrics: OnceLock<CommMetrics>,
 }
 
 impl Comm {
@@ -74,6 +105,7 @@ impl Comm {
             fault: Mutex::new(FaultStats::default()),
             allreduce_round: AtomicU64::new(0),
             tracer: OnceLock::new(),
+            metrics: OnceLock::new(),
         }
     }
 
@@ -89,6 +121,78 @@ impl Comm {
     pub fn tracer(&self) -> &Tracer {
         static OFF: Tracer = Tracer::off();
         self.tracer.get().unwrap_or(&OFF)
+    }
+
+    /// Register this rank's communication metrics in `registry`:
+    /// per-source receive-latency and wait histograms, in-flight byte and
+    /// queue-depth samples, send counters, and the fault stall/redelivery
+    /// histograms. A disabled registry installs nothing, so an unmetered
+    /// run never reaches this rank's observation branches (one `OnceLock`
+    /// load per call, exactly like the tracer). Idempotent.
+    pub fn install_metrics(&self, registry: &Metrics) {
+        if !registry.is_on() || self.metrics.get().is_some() {
+            return;
+        }
+        let rank = self.rank.to_string();
+        let per_src = |name: &'static str, help: &'static str| -> Vec<Histogram> {
+            (0..self.inner.size)
+                .map(|src| {
+                    registry.histogram(
+                        name,
+                        help,
+                        &[("rank", rank.clone()), ("src", src.to_string())],
+                    )
+                })
+                .collect()
+        };
+        let _ = self.metrics.set(CommMetrics {
+            recv_latency: per_src(
+                "advect_mpi_recv_latency_ns",
+                "Receive latency from post to completion, nanoseconds, per source rank",
+            ),
+            wait: per_src(
+                "advect_mpi_wait_ns",
+                "Blocked time completing a receive, nanoseconds, per source rank",
+            ),
+            inflight_bytes: registry.histogram(
+                "advect_mpi_inflight_bytes",
+                "Bytes queued toward this rank, sampled at each receive entry",
+                &[("rank", rank.clone())],
+            ),
+            pending_messages: registry.gauge(
+                "advect_mpi_pending_messages",
+                "Messages queued toward this rank at the last receive entry",
+                &[("rank", rank.clone())],
+            ),
+            messages_sent: registry.counter(
+                "advect_mpi_messages_sent_total",
+                "Point-to-point messages posted by this rank",
+                &[("rank", rank.clone())],
+            ),
+            values_sent: registry.counter(
+                "advect_mpi_values_sent_total",
+                "f64 values posted by this rank",
+                &[("rank", rank.clone())],
+            ),
+            stall: registry.histogram(
+                "advect_fault_stall_ns",
+                "Duration of each bounded-wait expiry before the message arrived, nanoseconds",
+                &[("rank", rank.clone())],
+            ),
+            redeliver_latency: registry.histogram(
+                "advect_fault_redeliver_latency_ns",
+                "Total wait of receives that completed via redelivery, nanoseconds",
+                &[("rank", rank)],
+            ),
+        });
+    }
+
+    /// Sample the mailbox depth into the in-flight histograms at a
+    /// receive entry (metered runs only).
+    fn sample_inflight(&self, m: &CommMetrics) {
+        let mb = &self.inner.mailboxes[self.rank];
+        m.inflight_bytes.observe(mb.bytes() as u64);
+        m.pending_messages.set(mb.len() as i64);
     }
 
     /// This rank's id in `0..size`.
@@ -199,6 +303,7 @@ impl Comm {
         let stall_start = Instant::now();
         let data = loop {
             let attempt_ns = tracer.now_ns();
+            let attempt_t0 = self.metrics.get().map(|_| Instant::now());
             match mailbox.take_matching_timeout(src, tag, timeout) {
                 Some(data) => break data,
                 None => {
@@ -209,6 +314,9 @@ impl Comm {
                         attempt_ns,
                         tracer.now_ns(),
                     );
+                    if let (Some(m), Some(t0)) = (self.metrics.get(), attempt_t0) {
+                        m.stall.observe(t0.elapsed().as_nanos() as u64);
+                    }
                     timeout = timeout.saturating_mul(2).min(cap);
                 }
             }
@@ -218,6 +326,9 @@ impl Comm {
         if redelivered_after > redelivered_before {
             let now = tracer.now_ns();
             tracer.record_wall(Category::FaultRedeliver, "redelivered", now, now);
+            if let Some(m) = self.metrics.get() {
+                m.redeliver_latency.observe(stalled_ns);
+            }
         }
         let mut f = self.fault.lock();
         f.retries += retries;
@@ -265,6 +376,10 @@ impl Comm {
             s.messages_sent += 1;
             s.values_sent += data.len() as u64;
         }
+        if let Some(m) = self.metrics.get() {
+            m.messages_sent.inc();
+            m.values_sent.add(data.len() as u64);
+        }
         self.inner.mailboxes[dest].deliver(Message {
             src: self.rank,
             tag,
@@ -292,11 +407,18 @@ impl Comm {
     pub fn recv(&self, src: usize, tag: Tag) -> PooledBuf {
         self.check_rank(src, "source");
         let tracer = self.tracer();
+        if let Some(m) = self.metrics.get() {
+            self.sample_inflight(m);
+        }
         let start_ns = tracer.now_ns();
         let t0 = Instant::now();
         let data = self.take_with_faults(src, tag);
         let waited = t0.elapsed().as_nanos() as u64;
         tracer.record_wall(Category::MpiRecv, "recv", start_ns, tracer.now_ns());
+        if let Some(m) = self.metrics.get() {
+            m.wait[src].observe(waited);
+            m.recv_latency[src].observe(waited);
+        }
         let mut s = self.stats.lock();
         s.messages_received += 1;
         s.values_received += data.len() as u64;
@@ -314,6 +436,7 @@ impl Comm {
             src,
             tag,
             posted_ns: self.tracer().now_ns(),
+            posted_at: self.metrics.get().map(|_| Instant::now()),
         }
     }
 
@@ -381,6 +504,9 @@ pub struct RecvRequest<'a> {
     /// Trace timestamp of the `irecv` post — the start of the in-flight
     /// window recorded as an `mpi.recv` span at completion.
     posted_ns: u64,
+    /// Post instant for the receive-latency histogram; `None` in
+    /// unmetered runs so the post pays no clock read.
+    posted_at: Option<Instant>,
 }
 
 impl RecvRequest<'_> {
@@ -393,6 +519,9 @@ impl RecvRequest<'_> {
     /// implementation could have hidden behind computation.
     pub fn wait(self) -> PooledBuf {
         let tracer = self.comm.tracer();
+        if let Some(m) = self.comm.metrics.get() {
+            self.comm.sample_inflight(m);
+        }
         let wait_start_ns = tracer.now_ns();
         let t0 = Instant::now();
         let data = self.comm.take_with_faults(self.src, self.tag);
@@ -400,6 +529,13 @@ impl RecvRequest<'_> {
         let end_ns = tracer.now_ns();
         tracer.record_wall(Category::MpiWait, "wait", wait_start_ns, end_ns);
         tracer.record_wall(Category::MpiRecv, "inflight", self.posted_ns, end_ns);
+        if let Some(m) = self.comm.metrics.get() {
+            m.wait[self.src].observe(waited);
+            let latency = self
+                .posted_at
+                .map_or(waited, |t| t.elapsed().as_nanos() as u64);
+            m.recv_latency[self.src].observe(latency);
+        }
         let mut s = self.comm.stats.lock();
         s.messages_received += 1;
         s.values_received += data.len() as u64;

@@ -254,6 +254,11 @@ impl Mailbox {
         self.channels.lock().total
     }
 
+    /// Payload bytes currently queued or held (for diagnostics).
+    pub fn bytes(&self) -> usize {
+        self.channels.lock().bytes
+    }
+
     /// High-water mark of payload bytes that were queued at once.
     pub fn peak_bytes(&self) -> usize {
         self.channels.lock().peak_bytes
