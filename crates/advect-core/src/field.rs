@@ -474,6 +474,12 @@ impl<'a> SharedField<'a> {
         (x + h) as usize + self.sx * ((y + h) as usize + self.sy * (z + h) as usize)
     }
 
+    /// Allocated `(sx, sy)` strides of the wrapped field (including
+    /// halos). The x stride feeds the cache-blocking tile heuristic.
+    pub fn strides(&self) -> (usize, usize) {
+        (self.sx, self.sy)
+    }
+
     /// Write one value at interior-relative coordinates.
     #[inline]
     pub fn write(&self, x: i64, y: i64, z: i64, v: f64) {

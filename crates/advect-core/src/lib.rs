@@ -25,7 +25,11 @@
 //!   implementations in the `overlap` crate ([`team`]),
 //! * a **work-queue sweep executor** with deterministic result ordering,
 //!   used by the tuning sweeps and figure generators downstream
-//!   ([`sweep`]).
+//!   ([`sweep`]),
+//! * **explicit SIMD** tap-accumulation kernels with runtime dispatch
+//!   that preserve the per-element FP order ([`simd`]),
+//! * **cache-blocked tiling** of region sweeps with a cache-derived
+//!   tile-size heuristic ([`tile`]).
 //!
 //! The floating-point cost model follows the paper: 53 flops per grid point
 //! per step (27 multiplications + 26 additions), see [`flops`].
@@ -35,18 +39,22 @@ pub mod coeffs;
 pub mod field;
 pub mod flops;
 pub mod norms;
+pub mod simd;
 pub mod stencil;
 pub mod stepper;
 pub mod sweep;
 pub mod team;
+pub mod tile;
 pub mod vonneumann;
 
 pub use analytic::{AnalyticSolution, GaussianPulse};
 pub use coeffs::{Stencil27, Velocity};
 pub use field::Field3;
 pub use norms::{l1_norm, l2_norm, linf_norm, Norms};
+pub use simd::SimdLevel;
 pub use stencil::apply_stencil_region;
 pub use stepper::{AdvectionProblem, SerialStepper, ThreadedStepper};
 pub use sweep::SweepPool;
 pub use team::{Schedule, ThreadTeam};
+pub use tile::TileSpec;
 pub use vonneumann::{amplification_factor, is_stable, max_amplification};

@@ -11,13 +11,12 @@
 //! Each entry point has two implementations that are bit-identical by
 //! construction:
 //!
-//! * The **row-vectorized fast path** (default): each x-row of the
-//!   region is processed in small fixed-size chunks; a chunk-sized local
-//!   accumulator (which the compiler keeps in vector registers) is zeroed
-//!   and then each of the 27 taps adds `coef[t] * src` over a pre-sliced
-//!   window of the tap's source row. Slicing once per tap removes the
-//!   per-element bounds checks, the fixed chunk width lets the additions
-//!   auto-vectorize across x, and accumulating in registers instead of
+//! * The **SIMD fast path** (default): each x-row of the region is
+//!   processed by [`crate::simd::accumulate_tap_rows`], which dispatches
+//!   at runtime to explicit `f64x4`/`f64x8` vector kernels (or a portable
+//!   chunked loop). A chunk of vector accumulators is zeroed and then
+//!   each of the 27 taps adds `coef[t] * src` over a pre-sliced window of
+//!   the tap's source row; accumulating in registers instead of
 //!   re-reading the destination row avoids 27 store/reload passes.
 //! * The **scalar oracle** (`apply_stencil_*_scalar`): the original
 //!   per-point loop, kept as the reference the differential tests compare
@@ -27,11 +26,24 @@
 //! Bit-identity holds because each output element sees exactly the same
 //! sequence of floating-point operations on both paths: start from `0.0`,
 //! then add `coef[t] * src[...]` for taps `t = 0..27` in fixed order. The
-//! fast path merely interchanges the (x, tap) loops, which never reorders
-//! the additions *within* one output element.
+//! fast path merely interchanges the (x, tap) loops — lane-chunked in the
+//! SIMD kernels — which never reorders the additions *within* one output
+//! element (see the [`crate::simd`] module docs).
+//!
+//! # Cache blocking
+//!
+//! The default entry points additionally visit their region in
+//! cache-sized y/z tiles ([`crate::tile::TileSpec`]): tiling only
+//! permutes the order in which whole output rows are produced, never the
+//! arithmetic within one, so it is bit-neutral. The `*_tiled` variants
+//! accept an explicit [`TileSpec`]; [`apply_stencil_region_pooled`] fans
+//! the tiles out over a [`crate::sweep::SweepPool`] work queue — tiles
+//! are disjoint, so the result is identical at any worker count.
 
 use crate::coeffs::Stencil27;
-use crate::field::{Field3, Range3};
+use crate::field::{Field3, Range3, SharedField};
+use crate::sweep::SweepPool;
+use crate::tile::TileSpec;
 
 /// Precompute the 27 flat-index offsets for an `(sx, sy)`-strided field,
 /// in the fixed tap order (k slowest, i fastest). Tap `t` pairs with
@@ -71,10 +83,9 @@ fn accumulate_row(dst_row: &mut [f64], sd: &[f64], base: i64, offs: &[i64; 27], 
 ///
 /// Per output element this performs exactly the scalar sequence
 /// `acc = 0.0; acc += coef[0]·v₀; …; acc += coef[26]·v₂₆;`, so the result
-/// is bit-identical to the scalar oracle. The row is processed in
-/// [`ROW_CHUNK`]-wide pieces whose local accumulator array stays in
-/// vector registers: the tap loop reads only the source rows, never the
-/// destination, and each chunk is stored exactly once.
+/// is bit-identical to the scalar oracle. Delegates to the runtime-
+/// dispatched SIMD kernels of [`crate::simd`], which keep that per-lane
+/// operation order on every dispatch level.
 ///
 /// Shared with the `simgpu` functional kernels, which feed it rows of
 /// their staged shared-memory tiles.
@@ -83,41 +94,44 @@ fn accumulate_row(dst_row: &mut [f64], sd: &[f64], base: i64, offs: &[i64; 27], 
 ///
 /// If any `rows[t]` is shorter than `dst_row`.
 pub fn accumulate_tap_rows(dst_row: &mut [f64], rows: &[&[f64]; 27], coef: &[f64; 27]) {
-    const ROW_CHUNK: usize = 16;
-    let w = dst_row.len();
-    let mut x = 0;
-    while x + ROW_CHUNK <= w {
-        let mut acc = [0.0f64; ROW_CHUNK];
-        for t in 0..27 {
-            let c = coef[t];
-            let src = &rows[t][x..x + ROW_CHUNK];
-            for l in 0..ROW_CHUNK {
-                acc[l] += c * src[l];
-            }
-        }
-        dst_row[x..x + ROW_CHUNK].copy_from_slice(&acc);
-        x += ROW_CHUNK;
-    }
-    for (i, d) in dst_row[x..].iter_mut().enumerate() {
-        let mut acc = 0.0;
-        for t in 0..27 {
-            acc += coef[t] * rows[t][x + i];
-        }
-        *d = acc;
-    }
+    crate::simd::accumulate_tap_rows(dst_row, rows, coef);
 }
 
 /// Apply Equation 2 to `region` of `src`, writing into the same region of
 /// `dst`. `src` must have valid halo/neighbor values for every point that
 /// `region` touches (one point in every direction).
 ///
+/// Visits the region in cache-sized tiles ([`TileSpec::host`]); tiling
+/// only reorders whole rows, so the result is bit-identical to the
+/// untiled sweep.
+///
 /// Cost: 53 flops per point (27 multiplications + 26 additions), exactly
 /// the count the paper uses to convert measured time into GF.
 pub fn apply_stencil_region(src: &Field3, dst: &mut Field3, s: &Stencil27, region: Range3) {
+    let (sx, _, _) = src.extents();
+    apply_stencil_region_tiled(src, dst, s, region, TileSpec::host(sx));
+}
+
+/// [`apply_stencil_region`] with an explicit cache-blocking tile.
+pub fn apply_stencil_region_tiled(
+    src: &Field3,
+    dst: &mut Field3,
+    s: &Stencil27,
+    region: Range3,
+    tile: TileSpec,
+) {
     if cfg!(feature = "scalar-kernels") {
         return apply_stencil_region_scalar(src, dst, s, region);
     }
     assert_eq!(src.interior(), dst.interior(), "field sizes must match");
+    for t in tile.tiles(region) {
+        region_sweep(src, dst, s, t);
+    }
+}
+
+/// The row-vectorized sweep over one (sub-)region — the shared inner body
+/// of the tiled region entry points.
+fn region_sweep(src: &Field3, dst: &mut Field3, s: &Stencil27, region: Range3) {
     let w = (region.x.1 - region.x.0).max(0) as usize;
     if w == 0 {
         return;
@@ -132,6 +146,30 @@ pub fn apply_stencil_region(src: &Field3, dst: &mut Field3, s: &Stencil27, regio
             accumulate_row(dst_row, sd, base, &offs, &s.a);
         }
     }
+}
+
+/// Apply Equation 2 to `region`, fanning the cache-sized tiles out over a
+/// [`SweepPool`] work queue. Tiles are disjoint, so each output element
+/// is produced by exactly one worker with the fixed per-element operation
+/// order — the result is bit-identical to [`apply_stencil_region`] at
+/// any worker count.
+pub fn apply_stencil_region_pooled(
+    src: &Field3,
+    dst: &mut Field3,
+    s: &Stencil27,
+    region: Range3,
+    tile: TileSpec,
+    pool: &SweepPool,
+) {
+    if cfg!(feature = "scalar-kernels") {
+        return apply_stencil_region_scalar(src, dst, s, region);
+    }
+    assert_eq!(src.interior(), dst.interior(), "field sizes must match");
+    let tiles: Vec<Range3> = tile.tiles(region).collect();
+    let shared = SharedField::new(dst);
+    pool.for_each_index(tiles.len(), |i| {
+        shared_sweep(src, &shared, s, tiles[i]);
+    });
 }
 
 /// Scalar per-point oracle for [`apply_stencil_region`]. Kept as the
@@ -175,6 +213,18 @@ pub fn apply_stencil_slab(
     s: &Stencil27,
     region: Range3,
 ) {
+    let (sx, _, _) = src.extents();
+    apply_stencil_slab_tiled(src, dst, s, region, TileSpec::host(sx));
+}
+
+/// [`apply_stencil_slab`] with an explicit cache-blocking tile.
+pub fn apply_stencil_slab_tiled(
+    src: &Field3,
+    dst: &mut crate::field::ZSlabMut<'_>,
+    s: &Stencil27,
+    region: Range3,
+    tile: TileSpec,
+) {
     if cfg!(feature = "scalar-kernels") {
         return apply_stencil_slab_scalar(src, dst, s, region);
     }
@@ -182,15 +232,17 @@ pub fn apply_stencil_slab(
     if clipped.is_empty() {
         return;
     }
-    let w = (clipped.x.1 - clipped.x.0) as usize;
     let (sx, sy, _) = src.extents();
     let offs = tap_offsets(sx, sy);
     let sd = src.data();
-    for z in clipped.z.0..clipped.z.1 {
-        for y in clipped.y.0..clipped.y.1 {
-            let base = src.idx(clipped.x.0, y, z) as i64;
-            let dst_row = dst.row_mut(clipped.x.0, y, z, w);
-            accumulate_row(dst_row, sd, base, &offs, &s.a);
+    for t in tile.tiles(clipped) {
+        let w = (t.x.1 - t.x.0) as usize;
+        for z in t.z.0..t.z.1 {
+            for y in t.y.0..t.y.1 {
+                let base = src.idx(t.x.0, y, z) as i64;
+                let dst_row = dst.row_mut(t.x.0, y, z, w);
+                accumulate_row(dst_row, sd, base, &offs, &s.a);
+            }
         }
     }
 }
@@ -254,9 +306,30 @@ pub fn apply_stencil_shared(
     s: &Stencil27,
     region: Range3,
 ) {
+    let (sx, _, _) = src.extents();
+    apply_stencil_shared_tiled(src, dst, s, region, TileSpec::host(sx));
+}
+
+/// [`apply_stencil_shared`] with an explicit cache-blocking tile.
+pub fn apply_stencil_shared_tiled(
+    src: &Field3,
+    dst: &crate::field::SharedWriter<'_>,
+    s: &Stencil27,
+    region: Range3,
+    tile: TileSpec,
+) {
     if cfg!(feature = "scalar-kernels") {
         return apply_stencil_shared_scalar(src, dst, s, region);
     }
+    for t in tile.tiles(region) {
+        shared_sweep(src, dst, s, t);
+    }
+}
+
+/// The row-vectorized sweep over one (sub-)region through a shared
+/// writer — the shared inner body of the tiled shared/pooled entry
+/// points.
+fn shared_sweep(src: &Field3, dst: &SharedField<'_>, s: &Stencil27, region: Range3) {
     let w = (region.x.1 - region.x.0).max(0) as usize;
     if w == 0 {
         return;
@@ -320,27 +393,41 @@ pub fn apply_stencil_cells(
     s: &Stencil27,
     region: Range3,
 ) {
+    let (sx, _) = src.strides();
+    apply_stencil_cells_tiled(src, dst, s, region, TileSpec::host(sx));
+}
+
+/// [`apply_stencil_cells`] with an explicit cache-blocking tile.
+pub fn apply_stencil_cells_tiled(
+    src: &crate::field::SharedField<'_>,
+    dst: &crate::field::SharedField<'_>,
+    s: &Stencil27,
+    region: Range3,
+    tile: TileSpec,
+) {
     if cfg!(feature = "scalar-kernels") {
         return apply_stencil_cells_scalar(src, dst, s, region);
     }
-    let w = (region.x.1 - region.x.0).max(0) as usize;
-    if w == 0 {
-        return;
-    }
     let (doffs, coef) = cell_taps(s);
-    for z in region.z.0..region.z.1 {
-        for y in region.y.0..region.y.1 {
-            // SAFETY: the caller's disjoint-region contract gives this
-            // thread exclusive access to every point of `region`,
-            // including this row.
-            let dst_row = unsafe { dst.row_mut(region.x.0, y, z, w) };
-            // SAFETY: the points a stencil application reads are, per the
-            // contract, not written concurrently by any thread.
-            let rows: [&[f64]; 27] = std::array::from_fn(|t| {
-                let (di, dj, dk) = doffs[t];
-                unsafe { src.row(region.x.0 + di, y + dj, z + dk, w) }
-            });
-            accumulate_tap_rows(dst_row, &rows, &coef);
+    for t in tile.tiles(region) {
+        let w = (t.x.1 - t.x.0).max(0) as usize;
+        if w == 0 {
+            continue;
+        }
+        for z in t.z.0..t.z.1 {
+            for y in t.y.0..t.y.1 {
+                // SAFETY: the caller's disjoint-region contract gives this
+                // thread exclusive access to every point of `region`,
+                // including this row.
+                let dst_row = unsafe { dst.row_mut(t.x.0, y, z, w) };
+                // SAFETY: the points a stencil application reads are, per
+                // the contract, not written concurrently by any thread.
+                let rows: [&[f64]; 27] = std::array::from_fn(|tap| {
+                    let (di, dj, dk) = doffs[tap];
+                    unsafe { src.row(t.x.0 + di, y + dj, z + dk, w) }
+                });
+                accumulate_tap_rows(dst_row, &rows, &coef);
+            }
         }
     }
 }
@@ -541,6 +628,71 @@ mod tests {
             });
         }
         assert_eq!(direct.max_abs_diff(&shared), 0.0);
+    }
+
+    #[test]
+    fn tiled_and_pooled_match_scalar_oracle_exactly() {
+        use crate::sweep::SweepPool;
+        use crate::tile::TileSpec;
+        let s = Stencil27::new(Velocity::new(0.41, -0.73, 0.66), 0.88);
+        let src = filled(11, |x, y, z| {
+            ((x * 31 + y * 17 + z * 53) % 23) as f64 * 0.217 - 2.3
+        });
+        let region = Range3::new((1, 10), (0, 11), (2, 9));
+        let mut oracle = Field3::new(11, 11, 11, 1);
+        apply_stencil_region_scalar(&src, &mut oracle, &s, region);
+        // Degenerate, odd-shaped, and larger-than-region tiles.
+        for tile in [
+            TileSpec::new(1, 1),
+            TileSpec::new(3, 2),
+            TileSpec::new(5, 16),
+            TileSpec::new(64, 64),
+        ] {
+            let mut tiled = Field3::new(11, 11, 11, 1);
+            apply_stencil_region_tiled(&src, &mut tiled, &s, region, tile);
+            assert_eq!(tiled.data(), oracle.data(), "tile {tile:?}");
+            for workers in [1usize, 2, 4, 7] {
+                let mut pooled = Field3::new(11, 11, 11, 1);
+                let pool = SweepPool::new(workers);
+                apply_stencil_region_pooled(&src, &mut pooled, &s, region, tile, &pool);
+                assert_eq!(pooled.data(), oracle.data(), "tile {tile:?} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_slab_shared_cells_match_untiled() {
+        use crate::field::SharedField;
+        use crate::tile::TileSpec;
+        let s = Stencil27::new(Velocity::new(0.9, 0.2, -0.5), 0.77);
+        let src = filled(8, |x, y, z| ((x * 5 + y * 11 + z * 3) % 7) as f64 * 0.31);
+        let region = Range3::new((0, 8), (1, 8), (0, 7));
+        let tile = TileSpec::new(2, 3);
+
+        let mut reference = Field3::new(8, 8, 8, 1);
+        apply_stencil_region_scalar(&src, &mut reference, &s, region);
+
+        let mut via_slab = Field3::new(8, 8, 8, 1);
+        for slab in &mut via_slab.z_slabs_mut(&[3]) {
+            apply_stencil_slab_tiled(&src, slab, &s, region, tile);
+        }
+        assert_eq!(reference.data(), via_slab.data());
+
+        let mut via_shared = Field3::new(8, 8, 8, 1);
+        {
+            let writer = SharedField::new(&mut via_shared);
+            apply_stencil_shared_tiled(&src, &writer, &s, region, tile);
+        }
+        assert_eq!(reference.data(), via_shared.data());
+
+        let mut src_cells = src.clone();
+        let mut via_cells = Field3::new(8, 8, 8, 1);
+        {
+            let sc = SharedField::new(&mut src_cells);
+            let dc = SharedField::new(&mut via_cells);
+            apply_stencil_cells_tiled(&sc, &dc, &s, region, tile);
+        }
+        assert_eq!(reference.data(), via_cells.data());
     }
 
     #[test]

@@ -15,8 +15,9 @@ use crate::analytic::{AnalyticSolution, GaussianPulse};
 use crate::coeffs::{Stencil27, Velocity};
 use crate::field::Field3;
 use crate::norms::Norms;
-use crate::stencil::{apply_stencil_interior, apply_stencil_slab, copy_region_slab};
-use crate::team::{split_static, ThreadTeam};
+use crate::stencil::{apply_stencil_interior, apply_stencil_slab_tiled, copy_region_slab};
+use crate::team::ThreadTeam;
+use crate::tile::TileSpec;
 
 /// The advection test problem: a periodic cube of `n³` points with a
 /// Gaussian pulse advected at constant velocity, run at a given ν.
@@ -183,6 +184,7 @@ pub struct ThreadedStepper {
     problem: AdvectionProblem,
     stencil: Stencil27,
     team: ThreadTeam,
+    tile: Option<TileSpec>,
     cur: Field3,
     new: Field3,
     steps_taken: u64,
@@ -197,23 +199,22 @@ impl ThreadedStepper {
             problem,
             stencil: problem.stencil(),
             team: ThreadTeam::new(threads),
+            tile: None,
             cur,
             new,
             steps_taken: 0,
         }
     }
 
+    /// Use an explicit cache-blocking tile instead of the host heuristic.
+    pub fn with_tile(mut self, tile: TileSpec) -> Self {
+        self.tile = Some(tile);
+        self
+    }
+
     /// Interior-z cut points for a static split across the team.
     fn z_cuts(&self) -> Vec<i64> {
-        let nz = self.problem.n;
-        let t = self.team.num_threads().min(nz);
-        let mut cuts = Vec::new();
-        for p in 1..t {
-            let r = split_static(0..nz, t, p);
-            cuts.push(r.start as i64);
-        }
-        cuts.dedup();
-        cuts
+        crate::tile::z_cuts(self.problem.n, self.team.num_threads())
     }
 
     /// Perform one time step (Steps 1–3, Steps 2 and 3 threaded).
@@ -226,9 +227,13 @@ impl ThreadedStepper {
         {
             let cur = &self.cur;
             let stencil = &self.stencil;
+            let tile = self.tile.unwrap_or_else(|| {
+                let (sx, _, _) = self.cur.extents();
+                TileSpec::host(sx)
+            });
             let slabs = self.new.z_slabs_mut(&cuts);
             self.team.parallel_with(slabs, |_ctx, mut slab| {
-                apply_stencil_slab(cur, &mut slab, stencil, region);
+                apply_stencil_slab_tiled(cur, &mut slab, stencil, region, tile);
             });
         }
         // Step 3: copy new state to current state, threaded the same way.
@@ -289,6 +294,26 @@ mod tests {
                 threaded.state().max_abs_diff(serial.state()),
                 0.0,
                 "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_tile_matches_serial_bitwise() {
+        let problem = AdvectionProblem::general_case(14);
+        let mut serial = SerialStepper::new(problem);
+        serial.run(4);
+        for tile in [
+            TileSpec::new(1, 1),
+            TileSpec::new(3, 5),
+            TileSpec::new(64, 64),
+        ] {
+            let mut threaded = ThreadedStepper::new(problem, 3).with_tile(tile);
+            threaded.run(4);
+            assert_eq!(
+                threaded.state().max_abs_diff(serial.state()),
+                0.0,
+                "tile = {tile:?}"
             );
         }
     }

@@ -17,10 +17,50 @@
 //! and no queue traffic.
 
 use obs::{Category, Tracer};
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 static SWEEP_TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// Whether workers pin themselves to cores (`ADVECT_SWEEP_AFFINITY=1`).
+/// Off by default: pinning on shared or oversubscribed hosts hurts.
+fn affinity_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        matches!(
+            std::env::var("ADVECT_SWEEP_AFFINITY").as_deref(),
+            Ok("1") | Ok("on") | Ok("true")
+        )
+    })
+}
+
+/// Pin the calling worker thread to core `worker mod cores`, when
+/// affinity is enabled. Best-effort: failures are ignored (the scheduler
+/// placement is a performance hint, never a correctness requirement).
+#[cfg(target_os = "linux")]
+fn pin_worker(worker: usize) {
+    if !affinity_enabled() {
+        return;
+    }
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let core = worker % cores.min(1024);
+    let mut mask = [0u64; 16]; // room for 1024 cores
+    mask[core / 64] |= 1 << (core % 64);
+    // SAFETY: pid 0 targets the calling thread; the mask buffer outlives
+    // the call and its size is passed alongside.
+    unsafe {
+        sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_worker(_worker: usize) {
+    let _ = affinity_enabled();
+}
 
 /// Install a process-wide span recorder for sweep batches: each worker
 /// records one `compute.interior` span covering its share of the batch
@@ -96,10 +136,11 @@ impl SweepPool {
         let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let next = &next;
                     let f = &f;
                     scope.spawn(move || {
+                        pin_worker(w);
                         let _span = tracer().span(Category::ComputeInterior, "sweep.worker");
                         let mut local = Vec::new();
                         loop {
@@ -138,6 +179,56 @@ impl SweepPool {
         F: Fn(&T) -> R + Sync,
     {
         self.map_indices(items.len(), |i| f(&items[i]))
+    }
+
+    /// Run `f(0), …, f(n-1)` for side effects across the pool, workers
+    /// stealing indices from a shared atomic counter. This is the
+    /// tile-granular executor of the cache-blocked stencil sweeps: each
+    /// index names a disjoint unit of output (a tile), so no reduction
+    /// step exists and the result is deterministic — each output element
+    /// is written by exactly one claim, whatever the steal order.
+    pub fn for_each_index<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let _span = tracer().span(Category::ComputeInterior, "sweep.inline");
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    pin_worker(w);
+                    let _span = tracer().span(Category::ComputeInterior, "sweep.worker");
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Evenly partition `0..n` into at most [`SweepPool::threads`]
+    /// contiguous non-empty ranges — the threads-aware static partitioner
+    /// for callers that hand each worker one owned chunk (e.g. z-slab
+    /// splits) rather than a stolen queue.
+    pub fn partition(&self, n: usize) -> Vec<Range<usize>> {
+        let parts = self.threads.min(n).max(1);
+        (0..parts)
+            .map(|p| crate::team::split_static(0..n, parts, p))
+            .filter(|r| !r.is_empty())
+            .collect()
     }
 }
 
@@ -209,5 +300,36 @@ mod tests {
     fn global_pool_is_usable() {
         let out = SweepPool::global().map_indices(8, |i| i);
         assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_claims_every_index_once() {
+        for workers in [1, 2, 5, 8] {
+            let pool = SweepPool::new(workers);
+            let hits: Vec<AtomicUsize> = (0..137).map(|_| AtomicUsize::new(0)).collect();
+            pool.for_each_index(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_covers_range_without_empties() {
+        for threads in [1usize, 3, 4, 7] {
+            for n in [0usize, 1, 2, 7, 100] {
+                let parts = SweepPool::new(threads).partition(n);
+                assert!(parts.len() <= threads.min(n.max(1)));
+                assert!(parts.iter().all(|r| !r.is_empty()) || n == 0);
+                let total: usize = parts.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "threads={threads} n={n}");
+                for w in parts.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
     }
 }

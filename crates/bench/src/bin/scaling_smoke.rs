@@ -1,0 +1,145 @@
+//! CI smoke gate for the pooled cache-blocked sweep's thread scaling.
+//!
+//! Measures the pooled tiled stencil (`apply_stencil_region_pooled`) at
+//! the requested worker counts on the 128³ interior, checks each result
+//! is **bit-identical** to the scalar per-point oracle, and gates the
+//! parallel efficiency at the widest width against the latest committed
+//! `BENCH_<n>.json` that carries a scaling table: the fresh efficiency
+//! must be at least `floor` (default 0.6) times the committed one. The
+//! relative gate makes the check portable across runners with different
+//! core counts — a 2-core runner and the machine that committed the
+//! snapshot both report low efficiency at 4 workers, and what CI catches
+//! is a *drop* against that machine's own baseline (a serialization bug,
+//! a lock on the steal path), not an underpowered runner.
+//!
+//! Usage: `cargo run --release -p bench --bin scaling_smoke [--widths 2,4] [--floor 0.6]`
+//!
+//! Exit code 1 on any bitwise mismatch or efficiency regression.
+
+use advect_core::coeffs::{Stencil27, Velocity};
+use advect_core::field::Field3;
+use advect_core::flops::FLOPS_PER_POINT;
+use advect_core::stencil::{apply_stencil_region_pooled, apply_stencil_region_scalar};
+use advect_core::sweep::SweepPool;
+use advect_core::tile::TileSpec;
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 128;
+
+fn repo_root() -> &'static std::path::Path {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+}
+
+fn time_median(warmup: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite time"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut widths: Vec<usize> = vec![2, 4];
+    let mut floor = 0.6f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--widths" => {
+                let spec = args.next().expect("--widths needs a list");
+                widths = spec.split(',').map(|w| w.parse().expect("width")).collect();
+            }
+            "--floor" => {
+                floor = args
+                    .next()
+                    .expect("--floor needs a value")
+                    .parse()
+                    .expect("floor");
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    widths.retain(|&w| w > 1);
+    widths.sort_unstable();
+    widths.dedup();
+    assert!(!widths.is_empty(), "need at least one width > 1");
+
+    let s = Stencil27::new(Velocity::new(1.0, 0.5, 0.25), 0.9);
+    let mut src = Field3::new(N, N, N, 1);
+    src.fill_interior(|x, y, z| ((x * 13 + y * 7 + z * 3) % 17) as f64 * 0.1);
+    src.copy_periodic_halo();
+    let region = src.interior_range();
+    let tile = TileSpec::host(src.extents().0);
+    let flops = (N as f64).powi(3) * FLOPS_PER_POINT as f64;
+
+    // The scalar oracle once: every pooled result must match it bitwise.
+    let mut oracle = Field3::new(N, N, N, 1);
+    apply_stencil_region_scalar(&src, &mut oracle, &s, region);
+
+    let mut failed = false;
+    let measure = |w: usize, failed: &mut bool| -> f64 {
+        let pool = SweepPool::new(w);
+        let mut dst = Field3::new(N, N, N, 1);
+        let t = time_median(1, 5, || {
+            apply_stencil_region_pooled(black_box(&src), &mut dst, &s, region, tile, &pool);
+        });
+        if dst.data() != oracle.data() {
+            eprintln!("scaling_smoke: {w}-worker pooled sweep diverged from the scalar oracle");
+            *failed = true;
+        }
+        flops / t / 1e9
+    };
+
+    let gf1 = measure(1, &mut failed);
+    println!("threads 1: {gf1:.3} GF (efficiency 1.000)");
+    let mut eff_at = Vec::new();
+    for &w in &widths {
+        let gf = measure(w, &mut failed);
+        let eff = gf / (w as f64 * gf1);
+        println!("threads {w}: {gf:.3} GF (efficiency {eff:.3})");
+        eff_at.push((w, eff));
+    }
+
+    // Gate the widest width against the committed curve.
+    let (w_top, eff_top) = *eff_at.last().expect("widths nonempty");
+    let history = bench::history::History::load(repo_root()).unwrap_or_default();
+    let committed = history
+        .snapshots
+        .iter()
+        .rev()
+        .find_map(|s| s.get(&format!("scaling_pool_t{w_top}_eff")));
+    match committed {
+        Some(base) if base > 0.0 => {
+            let rel = eff_top / base;
+            let ok = rel >= floor;
+            println!(
+                "efficiency@{w_top}: fresh {eff_top:.3} vs committed {base:.3} \
+                 (x{rel:.2}, floor x{floor:.2}) {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                failed = true;
+            }
+        }
+        _ => println!("efficiency@{w_top}: no committed scaling_pool_t{w_top}_eff, gate skipped"),
+    }
+
+    if failed {
+        eprintln!("scaling_smoke FAILED");
+        std::process::exit(1);
+    }
+    println!("scaling_smoke passed");
+}

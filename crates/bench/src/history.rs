@@ -24,17 +24,13 @@ pub enum Direction {
 }
 
 /// Keys that describe the benchmark setup rather than a measurement.
-const CONFIG_KEYS: &[&str] = &[
-    "grid",
-    "flops_per_point",
-    "exchange_grid",
-    "exchange_tasks",
-    "sweep_threads",
-];
+/// Any key ending in `_threads` or `_grid` is also configuration: it
+/// records the shape a section ran at, not a result.
+const CONFIG_KEYS: &[&str] = &["grid", "flops_per_point", "exchange_tasks"];
 
 /// Classify a snapshot key by naming convention.
 pub fn direction(key: &str) -> Direction {
-    if CONFIG_KEYS.contains(&key) {
+    if CONFIG_KEYS.contains(&key) || key.ends_with("_threads") || key.ends_with("_grid") {
         Direction::Config
     } else if key.ends_with("_ratio") {
         Direction::NearOne
@@ -84,6 +80,20 @@ impl Snapshot {
     pub fn get(&self, key: &str) -> Option<f64> {
         self.values.get(key).copied()
     }
+
+    /// The thread count the section owning `key` ran at, if this
+    /// snapshot recorded one: the longest `<section>_threads` key whose
+    /// stem prefixes `key` (`stencil_threads` governs `stencil_fast_gf`).
+    pub fn threads_for(&self, key: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .filter_map(|(k, v)| {
+                let stem = k.strip_suffix("_threads")?;
+                (!stem.is_empty() && key.starts_with(stem)).then_some((stem.len(), *v))
+            })
+            .max_by_key(|&(len, _)| len)
+            .map(|(_, v)| v)
+    }
 }
 
 /// The ordered sequence of committed snapshots.
@@ -92,6 +102,11 @@ pub struct History {
     /// Snapshots sorted by index, oldest first.
     pub snapshots: Vec<Snapshot>,
 }
+
+/// Absolute floor every `*_off_overhead_ratio` must clear under
+/// [`History::check`]: each instrumentation layer, disabled, may cost at
+/// most 10% of the exchange throughput measured before the layer existed.
+pub const RATIO_FLOOR: f64 = 0.90;
 
 /// One gate comparison from [`History::check`].
 #[derive(Debug, Clone)]
@@ -180,6 +195,12 @@ impl History {
     /// Gate fresh measurements against the latest committed snapshot:
     /// each `(key, fresh)` whose committed value exists and is positive
     /// must satisfy `fresh / committed >= tolerance`.
+    ///
+    /// `*_off_overhead_ratio` keys gate differently: they are already
+    /// normalized against their pre-layer baseline, so they must clear
+    /// the absolute [`RATIO_FLOOR`] regardless of what any snapshot
+    /// committed — a drifting baseline must not grandfather in a real
+    /// instrumentation overhead.
     pub fn check(&self, fresh: &[(&str, f64)], tolerance: f64) -> CheckOutcome {
         let mut outcome = CheckOutcome {
             baseline: self.latest().map(|s| s.path.clone()),
@@ -187,6 +208,16 @@ impl History {
             skipped: Vec::new(),
         };
         for &(key, value) in fresh {
+            if key.ends_with("_off_overhead_ratio") {
+                outcome.gates.push(Gate {
+                    key: key.to_string(),
+                    fresh: value,
+                    committed: RATIO_FLOOR,
+                    ratio: value,
+                    ok: value >= RATIO_FLOOR,
+                });
+                continue;
+            }
             let committed = self.latest().and_then(|s| s.get(key)).unwrap_or(0.0);
             if committed <= 0.0 {
                 outcome.skipped.push(key.to_string());
@@ -223,15 +254,36 @@ impl History {
         out.push_str("|---|---|---|---|---|\n");
         for key in self.metric_keys() {
             let series: Vec<Option<f64>> = self.snapshots.iter().map(|s| s.get(&key)).collect();
-            let latest = series.iter().rev().flatten().next().copied();
-            let Some(latest) = latest else { continue };
-            let prev = previous_value(&series);
-            let (delta, reading) = match prev {
-                Some(p) if p != 0.0 => {
-                    let pct = (latest - p) / p * 100.0;
-                    (format!("{pct:+.1}%"), classify(&key, pct))
-                }
-                _ => ("new".to_string(), "—".to_string()),
+            let present: Vec<&Snapshot> = self
+                .snapshots
+                .iter()
+                .filter(|s| s.get(&key).is_some())
+                .collect();
+            let Some(&last_snap) = present.last() else {
+                continue;
+            };
+            let latest = last_snap.get(&key).expect("present");
+            let prev_snap = present.len().checked_sub(2).map(|i| present[i]);
+            // A GF measured at 4 workers is not a trend against a GF
+            // measured at 1: when both snapshots record the owning
+            // section's thread count and they differ, refuse to compare.
+            let (delta, reading) = match prev_snap {
+                Some(prev) => match (prev.threads_for(&key), last_snap.threads_for(&key)) {
+                    (Some(a), Some(b)) if a != b => (
+                        format!("n/a ({}→{} threads)", a as u64, b as u64),
+                        "not comparable".to_string(),
+                    ),
+                    _ => {
+                        let p = prev.get(&key).expect("present");
+                        if p != 0.0 {
+                            let pct = (latest - p) / p * 100.0;
+                            (format!("{pct:+.1}%"), classify(&key, pct))
+                        } else {
+                            ("new".to_string(), "—".to_string())
+                        }
+                    }
+                },
+                None => ("new".to_string(), "—".to_string()),
             };
             out.push_str(&format!(
                 "| {key} | `{}` | {} | {delta} | {reading} |\n",
@@ -273,6 +325,49 @@ impl History {
                 out.push('\n');
             }
         }
+        // Per-thread scaling curve from the latest snapshot that carries
+        // one: pooled sweep and full-implementation GF with parallel
+        // efficiency at each measured team width.
+        if let Some(s) = self
+            .snapshots
+            .iter()
+            .rev()
+            .find(|s| s.values.keys().any(|k| k.starts_with("scaling_pool_t")))
+        {
+            let mut widths: Vec<u64> = s
+                .values
+                .keys()
+                .filter_map(|k| {
+                    k.strip_prefix("scaling_pool_t")?
+                        .strip_suffix("_gf")?
+                        .parse()
+                        .ok()
+                })
+                .collect();
+            widths.sort_unstable();
+            out.push_str(&format!(
+                "\n### Per-thread scaling (snapshot {})\n\n\
+                 Parallel efficiency is `gf / (threads × gf₁)`; 1.0 is \
+                 perfect scaling, and the curve bends where the team \
+                 leaves the compute-bound regime.\n\n\
+                 | threads | pool GF | pool eff | impl GF | impl eff |\n\
+                 |---|---|---|---|---|\n",
+                s.index
+            ));
+            for w in widths {
+                let cell = |k: String| match s.get(&k) {
+                    Some(v) => format!("{v:.3}"),
+                    None => "—".to_string(),
+                };
+                out.push_str(&format!(
+                    "| {w} | {} | {} | {} | {} |\n",
+                    cell(format!("scaling_pool_t{w}_gf")),
+                    cell(format!("scaling_pool_t{w}_eff")),
+                    cell(format!("scaling_impl_t{w}_gf")),
+                    cell(format!("scaling_impl_t{w}_eff")),
+                ));
+            }
+        }
         out
     }
 
@@ -302,15 +397,26 @@ impl History {
         out.push_str("  ],\n  \"metrics\": {\n");
         let keys = self.metric_keys();
         for (i, key) in keys.iter().enumerate() {
-            let series: Vec<Option<f64>> = self.snapshots.iter().map(|s| s.get(key)).collect();
-            let latest = series.iter().rev().flatten().next().copied().unwrap_or(0.0);
-            let prev = previous_value(&series);
-            let delta_pct = match prev {
-                Some(p) if p != 0.0 => (latest - p) / p * 100.0,
+            let present: Vec<&Snapshot> = self
+                .snapshots
+                .iter()
+                .filter(|s| s.get(key).is_some())
+                .collect();
+            let latest = present.last().and_then(|s| s.get(key)).unwrap_or(0.0);
+            let prev_snap = present.len().checked_sub(2).map(|i| present[i]);
+            let comparable = match (prev_snap, present.last()) {
+                (Some(prev), Some(last)) => match (prev.threads_for(key), last.threads_for(key)) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => true,
+                },
+                _ => true,
+            };
+            let delta_pct = match prev_snap.and_then(|s| s.get(key)) {
+                Some(p) if p != 0.0 && comparable => (latest - p) / p * 100.0,
                 _ => 0.0,
             };
             out.push_str(&format!(
-                "    {}: {{\"latest\": {}, \"delta_pct\": {}}}",
+                "    {}: {{\"latest\": {}, \"delta_pct\": {}, \"comparable\": {comparable}}}",
                 figures::json::escape(key),
                 number(latest),
                 number(delta_pct)
@@ -320,12 +426,6 @@ impl History {
         out.push_str("  }\n}\n");
         out
     }
-}
-
-/// The last value before the final present one (the "previous snapshot"
-/// a delta compares against).
-fn previous_value(series: &[Option<f64>]) -> Option<f64> {
-    series.iter().rev().flatten().nth(1).copied()
 }
 
 /// Human verdict for a percent move in `key`.
@@ -451,12 +551,97 @@ mod tests {
     fn direction_classification_follows_naming() {
         assert_eq!(direction("grid"), Direction::Config);
         assert_eq!(direction("sweep_threads"), Direction::Config);
+        assert_eq!(direction("stencil_threads"), Direction::Config);
+        assert_eq!(direction("scaling_grid"), Direction::Config);
+        assert_eq!(direction("scaling_full_threads"), Direction::Config);
         assert_eq!(direction("tracing_off_overhead_ratio"), Direction::NearOne);
         assert_eq!(
             direction("figures_report_seconds"),
             Direction::LowerIsBetter
         );
         assert_eq!(direction("stencil_fast_gf"), Direction::HigherIsBetter);
+        assert_eq!(direction("scaling_pool_t4_gf"), Direction::HigherIsBetter);
+    }
+
+    #[test]
+    fn off_overhead_ratios_gate_on_the_absolute_floor() {
+        // Even with a committed (mis-oriented) 0.697 in the history, the
+        // ratio gate is absolute: ≥ 0.90 passes, below fails.
+        let h = History {
+            snapshots: vec![snap(5, &[("tracing_off_overhead_ratio", 0.697)])],
+        };
+        let ok = h.check(&[("tracing_off_overhead_ratio", 1.43)], 0.75);
+        assert!(ok.passed(), "{ok:?}");
+        assert_eq!(ok.gates[0].committed, RATIO_FLOOR);
+        let bad = h.check(&[("tracing_off_overhead_ratio", 0.85)], 0.75);
+        assert!(!bad.passed());
+        // The relative tolerance would have passed 0.85 against 0.697;
+        // only the absolute floor catches it.
+        assert_eq!(bad.regressions(), 1);
+    }
+
+    #[test]
+    fn threads_for_picks_the_owning_section() {
+        let s = snap(
+            6,
+            &[
+                ("stencil_threads", 1.0),
+                ("stencil_fast_gf", 19.0),
+                ("exchange_threads", 1.0),
+                ("sweep_threads", 4.0),
+                ("scaling_full_threads", 4.0),
+            ],
+        );
+        assert_eq!(s.threads_for("stencil_fast_gf"), Some(1.0));
+        assert_eq!(s.threads_for("exchange_values_per_sec"), Some(1.0));
+        // No `*_threads` stem prefixes the per-width scaling keys: the
+        // width lives in the key itself, so trends always compare like
+        // with like.
+        assert_eq!(s.threads_for("scaling_pool_t4_gf"), None);
+        assert_eq!(s.threads_for("figures_report_seconds"), None);
+    }
+
+    #[test]
+    fn markdown_refuses_cross_thread_trends() {
+        let h = History {
+            snapshots: vec![
+                snap(1, &[("stencil_threads", 1.0), ("stencil_fast_gf", 10.0)]),
+                snap(2, &[("stencil_threads", 4.0), ("stencil_fast_gf", 30.0)]),
+            ],
+        };
+        let md = h.render_markdown();
+        assert!(md.contains("not comparable"), "{md}");
+        assert!(md.contains("n/a (1→4 threads)"), "{md}");
+        assert!(!md.contains("improvement"), "{md}");
+        let json = h.render_json();
+        let doc = Value::parse(&json).expect("valid json");
+        let m = &doc["metrics"]["stencil_fast_gf"];
+        assert_eq!(m["comparable"].as_bool(), Some(false));
+        assert_eq!(m["delta_pct"].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn markdown_renders_the_scaling_table() {
+        let h = History {
+            snapshots: vec![snap(
+                6,
+                &[
+                    ("scaling_pool_t1_gf", 19.0),
+                    ("scaling_pool_t1_eff", 1.0),
+                    ("scaling_pool_t4_gf", 20.0),
+                    ("scaling_pool_t4_eff", 0.263),
+                    ("scaling_impl_t1_gf", 8.0),
+                    ("scaling_impl_t1_eff", 1.0),
+                ],
+            )],
+        };
+        let md = h.render_markdown();
+        assert!(md.contains("Per-thread scaling (snapshot 6)"), "{md}");
+        assert!(
+            md.contains("| 1 | 19.000 | 1.000 | 8.000 | 1.000 |"),
+            "{md}"
+        );
+        assert!(md.contains("| 4 | 20.000 | 0.263 | — | — |"), "{md}");
     }
 
     #[test]

@@ -60,6 +60,8 @@ pub fn jaguarpf() -> Machine {
             stencil_compute_eff: 0.15,
             omp_region_base_s: 3.0e-6,
             omp_region_log_s: 0.5e-6,
+            l2_kib_per_core: 512,
+            l3_kib_per_socket: 6144,
         },
         net: InterconnectModel::seastar2(),
         mpi: "Cray MPT 4.0.0",
@@ -84,6 +86,8 @@ pub fn hopper_ii() -> Machine {
             stencil_compute_eff: 0.15,
             omp_region_base_s: 1.2e-6,
             omp_region_log_s: 0.5e-6,
+            l2_kib_per_core: 512,
+            l3_kib_per_socket: 12288,
         },
         net: InterconnectModel::gemini(),
         mpi: "Cray MPT 5.1.3",
@@ -108,6 +112,8 @@ pub fn lens() -> Machine {
             stencil_compute_eff: 0.10,
             omp_region_base_s: 3.5e-6,
             omp_region_log_s: 0.6e-6,
+            l2_kib_per_core: 512,
+            l3_kib_per_socket: 2048,
         },
         net: InterconnectModel::ddr_infiniband(),
         mpi: "OpenMPI 1.3.3",
@@ -132,6 +138,8 @@ pub fn yona() -> Machine {
             stencil_compute_eff: 0.15,
             omp_region_base_s: 3.0e-6,
             omp_region_log_s: 0.5e-6,
+            l2_kib_per_core: 512,
+            l3_kib_per_socket: 6144,
         },
         net: InterconnectModel::qdr_infiniband(),
         mpi: "OpenMPI 1.7a1",
@@ -197,6 +205,19 @@ mod tests {
         let h = hopper_ii();
         let pf = h.cpu.peak_gf(h.total_cores()) / 1e6;
         assert!((pf - 1.29).abs() < 0.1, "peak {pf} PF");
+    }
+
+    #[test]
+    fn cache_parameters_are_plausible_and_block_the_test_grid() {
+        for m in all_machines() {
+            assert_eq!(m.cpu.l2_kib_per_core, 512, "{}", m.name);
+            assert!(m.cpu.l3_kib_per_socket >= 2048, "{}", m.name);
+            // A 256³ local grid (the paper's per-node scale) must get
+            // y-blocked by the derived tile; tiny rows must not.
+            let spec = m.cpu.tile_spec(258);
+            assert!(spec.ty < 256, "{}: {spec:?}", m.name);
+            assert!(spec.ty >= 4 && spec.tz >= 1);
+        }
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct CpuModel {
     pub omp_region_base_s: f64,
     /// Additional region cost per log2(threads), in seconds.
     pub omp_region_log_s: f64,
+    /// Private L2 cache per core, in KiB (the level the cache-blocked
+    /// sweeps target).
+    pub l2_kib_per_core: usize,
+    /// Shared last-level cache per socket, in KiB.
+    pub l3_kib_per_socket: usize,
 }
 
 impl CpuModel {
@@ -97,6 +102,20 @@ impl CpuModel {
             * tasks_per_node as f64
             * FLOPS_PER_POINT as f64
             / 1e9
+    }
+
+    /// Private L2 cache per core, in bytes.
+    pub fn l2_bytes_per_core(&self) -> usize {
+        self.l2_kib_per_core * 1024
+    }
+
+    /// The cache-blocking tile this CPU's private cache implies for
+    /// x-rows of allocated width `sx`: half the L2 is budgeted for the
+    /// three source planes of a y-band (the other half covers the
+    /// destination rows and incidental traffic), matching
+    /// [`advect_core::tile::TileSpec::for_cache`]'s working-set model.
+    pub fn tile_spec(&self, sx: usize) -> advect_core::tile::TileSpec {
+        advect_core::tile::TileSpec::for_cache(self.l2_bytes_per_core() / 2, sx)
     }
 
     /// Cost of one OpenMP parallel region (fork + join/barrier) for a team

@@ -7,10 +7,14 @@
 use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::Field3;
-use advect_core::stencil::{apply_stencil_slab, copy_region_slab};
-use advect_core::team::{split_static, ThreadTeam};
+use advect_core::stencil::{apply_stencil_slab_tiled, copy_region_slab};
+use advect_core::team::ThreadTeam;
 use decomp::ExchangePlan;
 use simmpi::World;
+
+/// Static z cut points for a thread team — the threads-aware partitioner
+/// now lives in `advect_core::tile`; re-exported for the other runners.
+pub(crate) use advect_core::tile::z_cuts;
 
 /// The bulk-synchronous distributed implementation.
 pub struct BulkSyncMpi;
@@ -51,9 +55,10 @@ impl BulkSyncMpi {
                     let _span = tracer.span(obs::Category::ComputeInterior, "stencil");
                     let src = &cur;
                     let stencil = cfg.problem.stencil();
+                    let tile = cfg.tile_spec(cur.extents().0);
                     let slabs = new.z_slabs_mut(&cuts);
                     team.parallel_with(slabs, |_ctx, mut slab| {
-                        apply_stencil_slab(src, &mut slab, &stencil, region);
+                        apply_stencil_slab_tiled(src, &mut slab, &stencil, region, tile);
                     });
                 }
                 // Step 3: copy new state to current state.
@@ -78,14 +83,4 @@ impl BulkSyncMpi {
         });
         crate::runner::collect_report(results, metrics)
     }
-}
-
-/// Static z cut points for a thread team (deduplicated for thin domains).
-pub(crate) fn z_cuts(nz: usize, threads: usize) -> Vec<i64> {
-    let t = threads.min(nz).max(1);
-    let mut cuts: Vec<i64> = (1..t)
-        .map(|p| split_static(0..nz, t, p).start as i64)
-        .collect();
-    cuts.dedup();
-    cuts
 }

@@ -19,7 +19,7 @@
 use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::{Field3, Range3, SharedField};
-use advect_core::stencil::apply_stencil_shared;
+use advect_core::stencil::apply_stencil_shared_tiled;
 use advect_core::team::{split_static, ThreadTeam};
 use decomp::ExchangePlan;
 use simmpi::World;
@@ -64,6 +64,7 @@ impl DeepHaloBulkSync {
             let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
+            let tile = cfg.tile_spec(cur.extents().0);
             comm.barrier();
             let mut remaining = cfg.steps;
             while remaining > 0 {
@@ -95,11 +96,12 @@ impl DeepHaloBulkSync {
                                 region.z.0 + chunk.start as i64,
                                 region.z.0 + chunk.end as i64,
                             );
-                            apply_stencil_shared(
+                            apply_stencil_shared_tiled(
                                 src,
                                 writer_ref,
                                 &stencil,
                                 Range3::new(region.x, region.y, zr),
+                                tile,
                             );
                         });
                     }
@@ -203,7 +205,8 @@ mod tests {
                             (-e, nz as i64 + e),
                         );
                         let writer = SharedField::new(&mut new);
-                        apply_stencil_shared(&cur, &writer, &stencil, region);
+                        let tile = advect_core::tile::TileSpec::host(cur.extents().0);
+                        apply_stencil_shared_tiled(&cur, &writer, &stencil, region, tile);
                         std::mem::swap(&mut cur, &mut new);
                     }
                     remaining -= burst;

@@ -12,7 +12,7 @@ use crate::gpu_common::DeviceField;
 use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::{Field3, SharedField};
-use advect_core::stencil::apply_stencil_shared;
+use advect_core::stencil::apply_stencil_shared_tiled;
 use advect_core::team::ThreadTeam;
 use decomp::partition::BoxPartition;
 use decomp::ExchangePlan;
@@ -52,6 +52,7 @@ impl HybridBulkSync {
             let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
+            let tile = cfg.tile_spec(cur.extents().0);
             comm.barrier();
             for _ in 0..cfg.steps {
                 let step_t0 = step_hist.start();
@@ -108,7 +109,7 @@ impl HybridBulkSync {
                     team.parallel(|ctx| {
                         for (i, w) in walls.iter().enumerate() {
                             if i % ctx.num_threads == ctx.tid && !w.is_empty() {
-                                apply_stencil_shared(src, &writer, &stencil, *w);
+                                apply_stencil_shared_tiled(src, &writer, &stencil, *w, tile);
                             }
                         }
                     });

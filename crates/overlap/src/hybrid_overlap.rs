@@ -20,7 +20,7 @@ use crate::gpu_common::DeviceField;
 use crate::halo::HaloBuffers;
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::{Field3, SharedField};
-use advect_core::stencil::apply_stencil_cells;
+use advect_core::stencil::apply_stencil_cells_tiled;
 use advect_core::team::ThreadTeam;
 use decomp::partition::{shell_and_core, BoxPartition};
 use decomp::ExchangePlan;
@@ -71,6 +71,7 @@ impl HybridOverlap {
             let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
+            let tile = cfg.tile_spec(cur.extents().0);
             let full = cur.interior_range();
             // Inner parts of walls (computable before MPI completes) vs.
             // outer boundary points (touching the MPI halo).
@@ -149,7 +150,9 @@ impl HybridOverlap {
                             team.parallel(|ctx| {
                                 for (i, w) in walls.iter().enumerate() {
                                     if i % ctx.num_threads == ctx.tid && !w.is_empty() {
-                                        apply_stencil_cells(cur_ref, writer_ref, &stencil, *w);
+                                        apply_stencil_cells_tiled(
+                                            cur_ref, writer_ref, &stencil, *w, tile,
+                                        );
                                     }
                                 }
                             });
@@ -180,7 +183,7 @@ impl HybridOverlap {
                     team.parallel(|ctx| {
                         for (i, w) in outer_regions.iter().enumerate() {
                             if i % ctx.num_threads == ctx.tid {
-                                apply_stencil_cells(cur_ref, writer_ref, &stencil, *w);
+                                apply_stencil_cells_tiled(cur_ref, writer_ref, &stencil, *w, tile);
                             }
                         }
                     });

@@ -10,7 +10,7 @@
 use crate::halo::{complete_phase, post_phase_recvs, send_phase, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::Field3;
-use advect_core::stencil::{apply_stencil_slab, copy_region_slab};
+use advect_core::stencil::{apply_stencil_slab_tiled, copy_region_slab};
 use advect_core::team::ThreadTeam;
 use decomp::partition::{shell_and_core, thirds_along_z};
 use decomp::ExchangePlan;
@@ -43,6 +43,7 @@ impl NonblockingMpi {
             let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
+            let tile = cfg.tile_spec(cur.extents().0);
             let full = cur.interior_range();
             let (core, shell) = shell_and_core(full, 1);
             let thirds = thirds_along_z(core);
@@ -61,7 +62,7 @@ impl NonblockingMpi {
                         let src = &cur;
                         let slabs = new.z_slabs_mut(&cuts);
                         team.parallel_with(slabs, |_ctx, mut slab| {
-                            apply_stencil_slab(src, &mut slab, &stencil, *third);
+                            apply_stencil_slab_tiled(src, &mut slab, &stencil, *third, tile);
                         });
                     }
                     comm.throttle_end(throttle);
@@ -74,7 +75,7 @@ impl NonblockingMpi {
                     let slabs = new.z_slabs_mut(&cuts);
                     team.parallel_with(slabs, |_ctx, mut slab| {
                         for region in &shell {
-                            apply_stencil_slab(src, &mut slab, &stencil, *region);
+                            apply_stencil_slab_tiled(src, &mut slab, &stencil, *region, tile);
                         }
                     });
                 }

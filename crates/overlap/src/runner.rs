@@ -67,6 +67,10 @@ pub struct RunConfig {
     /// and allocate no metric state (see
     /// [`obs::registry::metric_states_allocated`]).
     pub metrics: bool,
+    /// Explicit cache-blocking tile `(ty, tz)` for the interior sweeps;
+    /// `None` (default) derives one from the host cache heuristic
+    /// ([`advect_core::tile::TileSpec::host`]).
+    pub tile: Option<(usize, usize)>,
 }
 
 impl RunConfig {
@@ -83,6 +87,7 @@ impl RunConfig {
             trace: false,
             fault: FaultSpec::off(),
             metrics: false,
+            tile: None,
         }
     }
 
@@ -126,6 +131,21 @@ impl RunConfig {
     pub fn with_metrics(mut self, on: bool) -> Self {
         self.metrics = on;
         self
+    }
+
+    /// Force a cache-blocking tile for the interior sweeps.
+    pub fn with_tile(mut self, ty: usize, tz: usize) -> Self {
+        self.tile = Some((ty, tz));
+        self
+    }
+
+    /// The tile the run's sweeps use, for x-rows of allocated width `sx`:
+    /// the explicit override when set, otherwise the host heuristic.
+    pub fn tile_spec(&self, sx: usize) -> advect_core::tile::TileSpec {
+        match self.tile {
+            Some((ty, tz)) => advect_core::tile::TileSpec::new(ty, tz),
+            None => advect_core::tile::TileSpec::host(sx),
+        }
     }
 
     /// The decomposition this configuration induces.

@@ -23,6 +23,9 @@ impl SingleTask {
         let metrics = obs::registry::Metrics::enabled(cfg.metrics);
         let step_hist = crate::runner::step_histogram(&metrics, "single_task", 0);
         let mut stepper = ThreadedStepper::new(cfg.problem, cfg.threads);
+        if let Some((ty, tz)) = cfg.tile {
+            stepper = stepper.with_tile(advect_core::tile::TileSpec::new(ty, tz));
+        }
         for _ in 0..cfg.steps {
             let step_t0 = step_hist.start();
             let _span = tracer.span(obs::Category::ComputeInterior, "step");

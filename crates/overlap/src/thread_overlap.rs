@@ -18,7 +18,7 @@
 use crate::halo::{exchange_halos_shared, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
 use advect_core::field::{Field3, Range3, SharedField};
-use advect_core::stencil::{apply_stencil_cells, copy_region_slab};
+use advect_core::stencil::{apply_stencil_cells_tiled, copy_region_slab};
 use advect_core::team::{GuidedChunks, ThreadTeam};
 use decomp::partition::shell_and_core;
 use decomp::ExchangePlan;
@@ -51,6 +51,7 @@ impl ThreadOverlapMpi {
             let halo_bufs = HaloBuffers::new(&plan, comm);
             let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
+            let tile = cfg.tile_spec(cur.extents().0);
             let full = cur.interior_range();
             let (core, shell) = shell_and_core(full, 1);
             let cuts = crate::bulk_sync::z_cuts(sub.extent.2, cfg.threads);
@@ -81,7 +82,7 @@ impl ThreadOverlapMpi {
                                     core.y,
                                     (core.z.0 + chunk.start as i64, core.z.0 + chunk.end as i64),
                                 );
-                                apply_stencil_cells(cur_ref, new_ref, &stencil, region);
+                                apply_stencil_cells_tiled(cur_ref, new_ref, &stencil, region, tile);
                             }
                         }
                         // Communication (master reached here) is complete
@@ -89,7 +90,9 @@ impl ThreadOverlapMpi {
                         ctx.barrier();
                         for (i, region) in shell.iter().enumerate() {
                             if i % ctx.num_threads == ctx.tid {
-                                apply_stencil_cells(cur_ref, new_ref, &stencil, *region);
+                                apply_stencil_cells_tiled(
+                                    cur_ref, new_ref, &stencil, *region, tile,
+                                );
                             }
                         }
                     });
