@@ -29,7 +29,12 @@
 //! * **explicit SIMD** tap-accumulation kernels with runtime dispatch
 //!   that preserve the per-element FP order ([`simd`]),
 //! * **cache-blocked tiling** of region sweeps with a cache-derived
-//!   tile-size heuristic ([`tile`]).
+//!   tile-size heuristic ([`tile`]),
+//! * **temporal blocking** that fuses several steps into one traversal
+//!   via overlapped trapezoid tiles, bit-identical to straight
+//!   stepping ([`timetile`]),
+//! * **host NUMA topology** detection with first-touch placement and a
+//!   domain-aware worker→core map ([`numa`]).
 //!
 //! The floating-point cost model follows the paper: 53 flops per grid point
 //! per step (27 multiplications + 26 additions), see [`flops`].
@@ -39,18 +44,21 @@ pub mod coeffs;
 pub mod field;
 pub mod flops;
 pub mod norms;
+pub mod numa;
 pub mod simd;
 pub mod stencil;
 pub mod stepper;
 pub mod sweep;
 pub mod team;
 pub mod tile;
+pub mod timetile;
 pub mod vonneumann;
 
 pub use analytic::{AnalyticSolution, GaussianPulse};
 pub use coeffs::{Stencil27, Velocity};
 pub use field::Field3;
 pub use norms::{l1_norm, l2_norm, linf_norm, Norms};
+pub use numa::NumaTopology;
 pub use simd::SimdLevel;
 pub use stencil::apply_stencil_region;
 pub use stepper::{AdvectionProblem, SerialStepper, ThreadedStepper};

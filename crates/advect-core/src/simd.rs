@@ -72,9 +72,28 @@ fn detect() -> SimdLevel {
     SimdLevel::Portable
 }
 
+/// Parse an `ADVECT_SIMD` value into a dispatch tier. Aliases follow
+/// the instruction-set names: `avx`/`avx2` → `f64x4`, `avx512` →
+/// `f64x8`, `scalar` → `portable`.
+pub fn parse_level(v: &str) -> Result<SimdLevel, String> {
+    match v {
+        "portable" | "scalar" => Ok(SimdLevel::Portable),
+        "f64x4" | "avx" | "avx2" => Ok(SimdLevel::F64x4),
+        "f64x8" | "avx512" => Ok(SimdLevel::F64x8),
+        other => Err(format!(
+            "ADVECT_SIMD={other:?}: expected one of portable|scalar|f64x4|avx|avx2|f64x8|avx512"
+        )),
+    }
+}
+
 /// The process-wide dispatch tier: the widest supported level, or the
 /// `ADVECT_SIMD` override (clamped to what the host supports — asking
 /// for `f64x8` on an AVX-only machine yields `f64x4`).
+///
+/// # Panics
+///
+/// On an unknown `ADVECT_SIMD` value — a mistyped knob must fail the
+/// run, not silently measure the auto-detected tier.
 pub fn level() -> SimdLevel {
     use std::sync::OnceLock;
     static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
@@ -83,15 +102,7 @@ pub fn level() -> SimdLevel {
         let Ok(want) = std::env::var("ADVECT_SIMD") else {
             return best;
         };
-        let want = match want.as_str() {
-            "portable" | "scalar" => SimdLevel::Portable,
-            "f64x4" | "avx" | "avx2" => SimdLevel::F64x4,
-            "f64x8" | "avx512" => SimdLevel::F64x8,
-            other => {
-                eprintln!("ADVECT_SIMD={other}: unknown level, using {}", best.name());
-                best
-            }
-        };
+        let want = parse_level(&want).unwrap_or_else(|e| panic!("{e}"));
         if want.lanes() <= best.lanes() {
             want
         } else {
@@ -419,6 +430,17 @@ mod tests {
         for l in [SimdLevel::Portable, SimdLevel::F64x4, SimdLevel::F64x8] {
             assert!(!l.name().is_empty());
             assert!(l.lanes().is_power_of_two());
+            assert_eq!(parse_level(l.name()), Ok(l));
         }
+    }
+
+    #[test]
+    fn level_parse_is_strict() {
+        assert_eq!(parse_level("avx2"), Ok(SimdLevel::F64x4));
+        assert_eq!(parse_level("avx512"), Ok(SimdLevel::F64x8));
+        assert_eq!(parse_level("scalar"), Ok(SimdLevel::Portable));
+        assert!(parse_level("sse").is_err());
+        assert!(parse_level("F64X4").is_err());
+        assert!(parse_level("").is_err());
     }
 }

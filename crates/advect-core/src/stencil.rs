@@ -50,7 +50,7 @@ use crate::tile::TileSpec;
 /// coefficient `s.a[t]`: [`Stencil27`] stores its coefficients in this
 /// same order.
 #[inline]
-fn tap_offsets(sx: usize, sy: usize) -> [i64; 27] {
+pub(crate) fn tap_offsets(sx: usize, sy: usize) -> [i64; 27] {
     let stride_y = sx as i64;
     let stride_z = (sx * sy) as i64;
     let mut offs = [0i64; 27];

@@ -25,29 +25,38 @@ static SWEEP_TRACER: OnceLock<Tracer> = OnceLock::new();
 
 /// Whether workers pin themselves to cores (`ADVECT_SWEEP_AFFINITY=1`).
 /// Off by default: pinning on shared or oversubscribed hosts hurts.
+///
+/// # Panics
+///
+/// On a malformed value — a mistyped knob must fail the run, not
+/// silently measure the unpinned default.
 fn affinity_enabled() -> bool {
     static ON: OnceLock<bool> = OnceLock::new();
-    *ON.get_or_init(|| {
-        matches!(
-            std::env::var("ADVECT_SWEEP_AFFINITY").as_deref(),
-            Ok("1") | Ok("on") | Ok("true")
-        )
+    *ON.get_or_init(|| match std::env::var("ADVECT_SWEEP_AFFINITY") {
+        Ok(v) => match v.as_str() {
+            "1" | "on" | "true" => true,
+            "0" | "off" | "false" => false,
+            other => panic!("ADVECT_SWEEP_AFFINITY={other:?}: expected 1|on|true|0|off|false"),
+        },
+        Err(_) => false,
     })
 }
 
-/// Pin the calling worker thread to core `worker mod cores`, when
-/// affinity is enabled. Best-effort: failures are ignored (the scheduler
-/// placement is a performance hint, never a correctness requirement).
+/// Pin the calling worker thread to its NUMA-aware core — contiguous
+/// blocks of a `team`-wide pool land on the same node (see
+/// [`crate::numa::NumaTopology::core_for_worker`]; single-node hosts
+/// reduce to `worker mod cores`) — when affinity is enabled.
+/// Best-effort: failures are ignored (the scheduler placement is a
+/// performance hint, never a correctness requirement).
 #[cfg(target_os = "linux")]
-fn pin_worker(worker: usize) {
+fn pin_worker(worker: usize, team: usize) {
     if !affinity_enabled() {
         return;
     }
     extern "C" {
         fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
     }
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let core = worker % cores.min(1024);
+    let core = crate::numa::host().core_for_worker(worker, team) % 1024;
     let mut mask = [0u64; 16]; // room for 1024 cores
     mask[core / 64] |= 1 << (core % 64);
     // SAFETY: pid 0 targets the calling thread; the mask buffer outlives
@@ -58,7 +67,7 @@ fn pin_worker(worker: usize) {
 }
 
 #[cfg(not(target_os = "linux"))]
-fn pin_worker(_worker: usize) {
+fn pin_worker(_worker: usize, _team: usize) {
     let _ = affinity_enabled();
 }
 
@@ -101,14 +110,21 @@ impl SweepPool {
 
     /// The process-wide pool, sized from `std::thread::available_parallelism`
     /// (overridable with the `ADVECT_SWEEP_THREADS` environment variable).
+    ///
+    /// # Panics
+    ///
+    /// On a malformed `ADVECT_SWEEP_THREADS` value — a mistyped knob
+    /// must fail the run, not silently measure the default width.
     pub fn global() -> &'static SweepPool {
         static GLOBAL: OnceLock<SweepPool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            let threads = std::env::var("ADVECT_SWEEP_THREADS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&t| t > 0)
-                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+            let threads = match std::env::var("ADVECT_SWEEP_THREADS") {
+                Ok(v) => match v.trim().parse::<usize>() {
+                    Ok(t) if t > 0 => t,
+                    _ => panic!("ADVECT_SWEEP_THREADS={v:?}: expected a positive integer"),
+                },
+                Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            };
             SweepPool::new(threads)
         })
     }
@@ -140,7 +156,7 @@ impl SweepPool {
                     let next = &next;
                     let f = &f;
                     scope.spawn(move || {
-                        pin_worker(w);
+                        pin_worker(w, workers);
                         let _span = tracer().span(Category::ComputeInterior, "sweep.worker");
                         let mut local = Vec::new();
                         loop {
@@ -205,7 +221,7 @@ impl SweepPool {
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
-                    pin_worker(w);
+                    pin_worker(w, workers);
                     let _span = tracer().span(Category::ComputeInterior, "sweep.worker");
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -214,6 +230,79 @@ impl SweepPool {
                         }
                         f(i);
                     }
+                });
+            }
+        });
+    }
+
+    /// [`SweepPool::for_each_index`] with per-worker mutable state:
+    /// each worker builds one `S` via `init` before claiming indices
+    /// and reuses it for every index it processes. This is the scratch
+    /// protocol of the time-tiled sweeps — a worker's trapezoid
+    /// buffers are allocated once per traversal, not once per tile.
+    /// Determinism is unchanged: indices still name disjoint outputs,
+    /// and the state is invisible outside the worker.
+    pub fn for_each_index_with<S, F, I>(&self, n: usize, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let _span = tracer().span(Category::ComputeInterior, "sweep.inline");
+            let mut state = init();
+            for i in 0..n {
+                f(&mut state, i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let next = &next;
+                let f = &f;
+                let init = &init;
+                scope.spawn(move || {
+                    pin_worker(w, workers);
+                    let _span = tracer().span(Category::ComputeInterior, "sweep.worker");
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        f(&mut state, i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Run `f(worker, range)` once per [`SweepPool::partition`] chunk of
+    /// `0..n`, each chunk on its own (pinned) worker thread. Unlike the
+    /// stealing executors, the worker→chunk assignment is *static*:
+    /// worker `w` always owns chunk `w`. That is the point — this is
+    /// the first-touch executor ([`crate::field::Field3::new_placed`]
+    /// zero-fills each z-slab from the worker whose node should own its
+    /// pages).
+    pub fn run_partitioned<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let parts = self.partition(n);
+        let team = parts.len();
+        if team <= 1 {
+            if let Some(r) = parts.into_iter().next() {
+                f(0, r);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for (w, r) in parts.into_iter().enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    pin_worker(w, team);
+                    f(w, r);
                 });
             }
         });
@@ -314,6 +403,51 @@ mod tests {
                 hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
                 "workers={workers}"
             );
+        }
+    }
+
+    #[test]
+    fn stateful_for_each_claims_every_index_once() {
+        for workers in [1, 2, 5, 8] {
+            let pool = SweepPool::new(workers);
+            let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+            let states = AtomicUsize::new(0);
+            pool.for_each_index_with(
+                hits.len(),
+                || {
+                    states.fetch_add(1, Ordering::Relaxed);
+                    vec![0u8; 16] // stand-in for a scratch buffer
+                },
+                |scratch, i| {
+                    scratch[0] = scratch[0].wrapping_add(1);
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "workers={workers}"
+            );
+            // One scratch state per participating worker, not per index.
+            assert!(states.load(Ordering::Relaxed) <= workers.min(hits.len()));
+        }
+    }
+
+    #[test]
+    fn partitioned_run_covers_range_with_static_owners() {
+        for workers in [1, 3, 4] {
+            let pool = SweepPool::new(workers);
+            let owner: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(usize::MAX)).collect();
+            pool.run_partitioned(owner.len(), |w, r| {
+                for i in r {
+                    owner[i].store(w, Ordering::Relaxed);
+                }
+            });
+            let owners: Vec<usize> = owner.iter().map(|o| o.load(Ordering::Relaxed)).collect();
+            assert!(owners.iter().all(|&w| w < workers), "workers={workers}");
+            // Static ownership: worker ids are non-decreasing across the
+            // range (contiguous chunks in order).
+            assert!(owners.windows(2).all(|p| p[0] <= p[1]));
+            assert_eq!(owners.last(), Some(&(pool.partition(23).len() - 1)));
         }
     }
 

@@ -12,6 +12,14 @@
 //!   efficiency `gf / (threads · gf₁)` — keys embed the width
 //!   (`scaling_pool_t4_gf`) so history never compares different thread
 //!   counts as a trend;
+//! * a temporal-blocking table: full-implementation GF/s at
+//!   `k ∈ {1, 2, 4, 8}` fused steps per traversal
+//!   ([`advect_core::timetile`]) on the smallest grid whose two state
+//!   fields overflow the detected last-level cache, at one worker and
+//!   the full machine — `k = 1` times the classic streaming stepper, so
+//!   `timetile_k4_over_k1_t<w>` is the measured payoff of fusion; the
+//!   host NUMA shape (`numa_nodes`, `numa_cores_per_node`) and LLC size
+//!   are recorded alongside so the numbers stay interpretable;
 //! * steady-state halo-exchange throughput over the pooled fast path and
 //!   the fresh-allocation baseline on a 64³ grid across 4 ranks —
 //!   exchanged values/s, messages/s, and the pooled-over-fresh ratio;
@@ -146,6 +154,18 @@ pub fn scaling_widths() -> Vec<usize> {
     widths
 }
 
+/// Smallest benchmark grid whose two state fields overflow `llc_bytes`
+/// (2 fields × 8 bytes × n³), so the `k = 1` baseline streams from
+/// memory and temporal fusion has traffic to save. Capped at 320³ to
+/// bound snapshot wall-clock on huge-cache hosts.
+fn timetile_grid(llc_bytes: usize) -> usize {
+    const CANDIDATES: [usize; 8] = [96, 128, 160, 192, 224, 256, 288, 320];
+    CANDIDATES
+        .into_iter()
+        .find(|&n| 16 * n * n * n > llc_bytes)
+        .unwrap_or(320)
+}
+
 /// Fraction of the committed value a fresh number may drop to before
 /// `--check` fails: 25% headroom for shared-runner noise.
 const CHECK_TOLERANCE: f64 = 0.75;
@@ -217,6 +237,47 @@ fn main() {
         }
     };
 
+    // Temporal blocking: GF/s of k fused steps per traversal on a grid
+    // whose two state fields overflow the detected last-level cache —
+    // k = 1 (the classic streaming stepper) pays full memory traffic
+    // every step, so fusion has something to save. Measured at one
+    // worker and at the full machine.
+    let topo = advect_core::numa::host();
+    let llc = advect_core::numa::host_llc_bytes();
+    let tt_n = timetile_grid(llc);
+    let tt_flops = (tt_n as f64).powi(3) * FLOPS_PER_POINT as f64;
+    let tt_widths: Vec<usize> = {
+        let full = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut v = vec![1, full];
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut tt_gf: Vec<(usize, usize, f64)> = Vec::new();
+    for &w in &tt_widths {
+        for k in [1usize, 2, 4, 8] {
+            let problem = AdvectionProblem::general_case(tt_n);
+            let gf = if k == 1 {
+                let mut stepper = ThreadedStepper::new(problem, w);
+                let t = time_median(1, 3, || stepper.step());
+                black_box(stepper.state().at(0, 0, 0));
+                tt_flops / t / 1e9
+            } else {
+                let mut stepper = ThreadedStepper::new(problem, w).with_time_tile(k);
+                let t = time_median(1, 3, || stepper.run(k as u64));
+                black_box(stepper.state().at(0, 0, 0));
+                tt_flops * k as f64 / t / 1e9
+            };
+            tt_gf.push((k, w, gf));
+        }
+    }
+    let tt_at = |k: usize, w: usize| -> f64 {
+        tt_gf
+            .iter()
+            .find(|&&(kk, ww, _)| kk == k && ww == w)
+            .map_or(0.0, |&(_, _, gf)| gf)
+    };
+
     // Comm layer: per-rank messages and values per steady-state exchange.
     let msgs = (6 * EXCHANGE_STEPS) as f64;
     let values = (6 * EXCHANGE_N * EXCHANGE_N * EXCHANGE_STEPS) as f64;
@@ -276,6 +337,26 @@ fn main() {
         ));
     }
     json.push_str(&format!(
+        "  \"numa_nodes\": {},\n  \"numa_cores_per_node\": {},\n  \
+         \"timetile_grid\": {tt_n},\n  \"timetile_llc_mib\": {},\n  \
+         \"timetile_full_threads\": {},\n",
+        topo.node_count(),
+        topo.cores_per_node(),
+        llc / (1024 * 1024),
+        tt_widths.last().copied().unwrap_or(1),
+    ));
+    for &(k, w, gf) in &tt_gf {
+        json.push_str(&format!("  \"timetile_k{k}_t{w}_gf\": {gf:.3},\n"));
+    }
+    for &w in &tt_widths {
+        if tt_at(1, w) > 0.0 {
+            json.push_str(&format!(
+                "  \"timetile_k4_over_k1_t{w}\": {:.3},\n",
+                tt_at(4, w) / tt_at(1, w),
+            ));
+        }
+    }
+    json.push_str(&format!(
         "  \"exchange_grid\": {EXCHANGE_N},\n  \"exchange_tasks\": {EXCHANGE_TASKS},\n  \
          \"exchange_threads\": 1,\n  \
          \"exchange_values_per_sec\": {ex_values_per_s:.0},\n  \
@@ -310,6 +391,17 @@ fn main() {
         ];
         for &(w, gf) in &pool_gf {
             gates.push((format!("scaling_pool_t{w}_gf"), gf));
+        }
+        for &(k, w, gf) in &tt_gf {
+            gates.push((format!("timetile_k{k}_t{w}_gf"), gf));
+        }
+        for &w in &tt_widths {
+            if tt_at(1, w) > 0.0 {
+                gates.push((
+                    format!("timetile_k4_over_k1_t{w}"),
+                    tt_at(4, w) / tt_at(1, w),
+                ));
+            }
         }
         let gate_refs: Vec<(&str, f64)> = gates.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         let outcome = history.check(&gate_refs, CHECK_TOLERANCE);

@@ -12,6 +12,12 @@
 //! is a *drop* against that machine's own baseline (a serialization bug,
 //! a lock on the steal path), not an underpowered runner.
 //!
+//! A noisy shared runner can produce one bad efficiency sample with
+//! nothing wrong: an efficiency miss is re-measured up to three times,
+//! and only the **best observed curve** is gated (and reported on
+//! failure). A bitwise mismatch is never retried — a wrong answer is a
+//! bug, not noise — and fails immediately.
+//!
 //! Usage: `cargo run --release -p bench --bin scaling_smoke [--widths 2,4] [--floor 0.6]`
 //!
 //! Exit code 1 on any bitwise mismatch or efficiency regression.
@@ -89,8 +95,8 @@ fn main() {
     let mut oracle = Field3::new(N, N, N, 1);
     apply_stencil_region_scalar(&src, &mut oracle, &s, region);
 
-    let mut failed = false;
-    let measure = |w: usize, failed: &mut bool| -> f64 {
+    // A wrong answer fails on the spot — correctness is never "noise".
+    let measure = |w: usize| -> f64 {
         let pool = SweepPool::new(w);
         let mut dst = Field3::new(N, N, N, 1);
         let t = time_median(1, 5, || {
@@ -98,48 +104,75 @@ fn main() {
         });
         if dst.data() != oracle.data() {
             eprintln!("scaling_smoke: {w}-worker pooled sweep diverged from the scalar oracle");
-            *failed = true;
+            eprintln!("scaling_smoke FAILED (bitwise mismatch is not retried)");
+            std::process::exit(1);
         }
         flops / t / 1e9
     };
+    // One full curve: (threads, GF, efficiency) at 1 and each width.
+    let run_curve = || -> Vec<(usize, f64, f64)> {
+        let gf1 = measure(1);
+        let mut curve = vec![(1, gf1, 1.0)];
+        for &w in &widths {
+            let gf = measure(w);
+            curve.push((w, gf, gf / (w as f64 * gf1)));
+        }
+        curve
+    };
 
-    let gf1 = measure(1, &mut failed);
-    println!("threads 1: {gf1:.3} GF (efficiency 1.000)");
-    let mut eff_at = Vec::new();
-    for &w in &widths {
-        let gf = measure(w, &mut failed);
-        let eff = gf / (w as f64 * gf1);
-        println!("threads {w}: {gf:.3} GF (efficiency {eff:.3})");
-        eff_at.push((w, eff));
-    }
-
-    // Gate the widest width against the committed curve.
-    let (w_top, eff_top) = *eff_at.last().expect("widths nonempty");
+    // Gate the widest width against the committed curve, re-measuring an
+    // efficiency miss up to MAX_ATTEMPTS times before declaring it real.
+    const MAX_ATTEMPTS: usize = 3;
+    let w_top = *widths.last().expect("widths nonempty");
     let history = bench::history::History::load(repo_root()).unwrap_or_default();
     let committed = history
         .snapshots
         .iter()
         .rev()
         .find_map(|s| s.get(&format!("scaling_pool_t{w_top}_eff")));
-    match committed {
-        Some(base) if base > 0.0 => {
-            let rel = eff_top / base;
-            let ok = rel >= floor;
+    let mut best: Vec<(usize, f64, f64)> = Vec::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        let curve = run_curve();
+        for &(w, gf, eff) in &curve {
+            println!("attempt {attempt} threads {w}: {gf:.3} GF (efficiency {eff:.3})");
+        }
+        let eff_top = curve.last().expect("nonempty").2;
+        if best.is_empty() || eff_top > best.last().expect("nonempty").2 {
+            best = curve;
+        }
+        let base = match committed {
+            Some(base) if base > 0.0 => base,
+            _ => {
+                println!(
+                    "efficiency@{w_top}: no committed scaling_pool_t{w_top}_eff, gate skipped"
+                );
+                println!("scaling_smoke passed");
+                return;
+            }
+        };
+        let rel = eff_top / base;
+        if rel >= floor {
             println!(
                 "efficiency@{w_top}: fresh {eff_top:.3} vs committed {base:.3} \
-                 (x{rel:.2}, floor x{floor:.2}) {}",
-                if ok { "ok" } else { "REGRESSION" }
+                 (x{rel:.2}, floor x{floor:.2}) ok"
             );
-            if !ok {
-                failed = true;
-            }
+            println!("scaling_smoke passed");
+            return;
         }
-        _ => println!("efficiency@{w_top}: no committed scaling_pool_t{w_top}_eff, gate skipped"),
+        println!(
+            "efficiency@{w_top}: fresh {eff_top:.3} vs committed {base:.3} \
+             (x{rel:.2}, floor x{floor:.2}) below floor{}",
+            if attempt < MAX_ATTEMPTS {
+                ", re-measuring"
+            } else {
+                ""
+            }
+        );
     }
-
-    if failed {
-        eprintln!("scaling_smoke FAILED");
-        std::process::exit(1);
+    eprintln!("best observed curve after {MAX_ATTEMPTS} attempts:");
+    for &(w, gf, eff) in &best {
+        eprintln!("  threads {w}: {gf:.3} GF (efficiency {eff:.3})");
     }
-    println!("scaling_smoke passed");
+    eprintln!("scaling_smoke FAILED: efficiency regression persisted across retries");
+    std::process::exit(1);
 }

@@ -1,0 +1,101 @@
+//! CI smoke gate for temporal blocking: the time-tiled multi-step
+//! stepper must be **bit-identical** to the serial reference at every
+//! fused depth and worker count, and the deep-halo implementation must
+//! run exactly one fused traversal per halo exchange.
+//!
+//! Two checks, both exact:
+//!
+//! 1. **Oracle sweep** — for small grids, every fused depth `k`
+//!    (including `k = 1` and a `k` that forces a partial final burst),
+//!    and worker counts 1/2/4, `ThreadedStepper::with_time_tile(k)` is
+//!    compared per-interior-point (`to_bits`) against the same number of
+//!    straight [`SerialStepper`] steps. Any differing ulp fails.
+//! 2. **Traversal count** — a traced deep-halo run at width 3 over 7
+//!    steps must show exactly `ceil(7 / 3) = 3` `timetile.traversal`
+//!    spans on every rank: one fused traversal per exchange, never one
+//!    sweep per sub-step.
+//!
+//! Usage: `cargo run --release -p bench --bin timetile_smoke`
+//!
+//! Exit code 1 on any mismatch. Runs in seconds — the grids are tiny;
+//! this gates correctness, not throughput (bench_snapshot does that).
+
+use advect_core::stepper::{AdvectionProblem, SerialStepper, ThreadedStepper};
+use overlap::deep_halo::DeepHaloBulkSync;
+use overlap::runner::RunConfig;
+
+/// Interior points where the tiled run differs bitwise from the serial
+/// reference after `steps` steps.
+fn mismatches(n: usize, k: usize, steps: u64, workers: usize) -> usize {
+    let problem = AdvectionProblem::general_case(n);
+    let mut serial = SerialStepper::new(problem);
+    serial.run(steps);
+    let mut tiled = ThreadedStepper::new(problem, workers).with_time_tile(k);
+    tiled.run(steps);
+    let want = serial.state();
+    let got = tiled.state();
+    want.interior_range()
+        .iter()
+        .filter(|&(x, y, z)| got.at(x, y, z).to_bits() != want.at(x, y, z).to_bits())
+        .count()
+}
+
+fn main() {
+    let mut failed = false;
+
+    for n in [8usize, 12] {
+        for k in [1usize, 2, 3, 4, 8] {
+            if k > n {
+                continue;
+            }
+            // k + 1 steps forces a partial final burst at every k > 1.
+            let steps = (k + 1) as u64;
+            for workers in [1usize, 2, 4] {
+                let bad = mismatches(n, k, steps, workers);
+                let ok = bad == 0;
+                println!(
+                    "oracle n {n} k {k} steps {steps} workers {workers}: {}",
+                    if ok {
+                        "bitwise ok".to_string()
+                    } else {
+                        format!("{bad} interior points differ")
+                    }
+                );
+                failed |= !ok;
+            }
+        }
+    }
+
+    // One fused traversal per exchange: 7 steps at width 3 → bursts of
+    // 3, 3, 1 → exactly three `timetile.traversal` spans per rank.
+    let problem = AdvectionProblem::general_case(12);
+    let cfg = RunConfig::new(problem, 7)
+        .tasks(2)
+        .with_threads(2)
+        .with_trace(true);
+    let (_, report) = DeepHaloBulkSync::run_with_report(&cfg, 3);
+    if report.traces.is_empty() {
+        println!("deep_halo: no traces collected");
+        failed = true;
+    }
+    for trace in &report.traces {
+        let traversals = trace
+            .spans
+            .iter()
+            .filter(|s| s.label == "timetile.traversal")
+            .count();
+        let ok = traversals == 3;
+        println!(
+            "deep_halo rank {}: {traversals} timetile.traversal spans (want 3) {}",
+            trace.rank,
+            if ok { "ok" } else { "WRONG" }
+        );
+        failed |= !ok;
+    }
+
+    if failed {
+        eprintln!("timetile_smoke FAILED");
+        std::process::exit(1);
+    }
+    println!("timetile_smoke passed");
+}

@@ -26,7 +26,14 @@ pub enum Direction {
 /// Keys that describe the benchmark setup rather than a measurement.
 /// Any key ending in `_threads` or `_grid` is also configuration: it
 /// records the shape a section ran at, not a result.
-const CONFIG_KEYS: &[&str] = &["grid", "flops_per_point", "exchange_tasks"];
+const CONFIG_KEYS: &[&str] = &[
+    "grid",
+    "flops_per_point",
+    "exchange_tasks",
+    "numa_nodes",
+    "numa_cores_per_node",
+    "timetile_llc_mib",
+];
 
 /// Classify a snapshot key by naming convention.
 pub fn direction(key: &str) -> Direction {
@@ -368,6 +375,66 @@ impl History {
                 ));
             }
         }
+        // Steps-per-traversal curve from the latest snapshot that carries
+        // a temporal-blocking section (absent on snapshots predating it):
+        // implementation GF at each fused depth k and measured team width.
+        if let Some(s) = self
+            .snapshots
+            .iter()
+            .rev()
+            .find(|s| s.values.keys().any(|k| k.starts_with("timetile_k")))
+        {
+            let mut ks: Vec<u64> = Vec::new();
+            let mut ws: Vec<u64> = Vec::new();
+            for key in s.values.keys() {
+                if let Some((k, w)) = key
+                    .strip_prefix("timetile_k")
+                    .and_then(|r| r.strip_suffix("_gf"))
+                    .and_then(|r| r.split_once("_t"))
+                {
+                    if let (Ok(k), Ok(w)) = (k.parse(), w.parse()) {
+                        ks.push(k);
+                        ws.push(w);
+                    }
+                }
+            }
+            ks.sort_unstable();
+            ks.dedup();
+            ws.sort_unstable();
+            ws.dedup();
+            out.push_str(&format!(
+                "\n### Steps per traversal (snapshot {})\n\n\
+                 Temporal blocking fuses k steps into one grid traversal; \
+                 k = 1 is the classic streaming stepper on the same \
+                 larger-than-LLC grid",
+                s.index
+            ));
+            match (s.get("timetile_grid"), s.get("timetile_llc_mib")) {
+                (Some(n), Some(mib)) => out.push_str(&format!(
+                    " ({}³ against a {} MiB last-level cache).\n\n",
+                    n as u64, mib as u64
+                )),
+                _ => out.push_str(".\n\n"),
+            }
+            let mut header = String::from("| steps/traversal |");
+            for w in &ws {
+                header.push_str(&format!(" {w}-thread GF |"));
+            }
+            out.push_str(&header);
+            out.push('\n');
+            out.push_str(&format!("|---|{}\n", "---|".repeat(ws.len())));
+            for k in &ks {
+                let mut row = format!("| {k} |");
+                for w in &ws {
+                    match s.get(&format!("timetile_k{k}_t{w}_gf")) {
+                        Some(v) => row.push_str(&format!(" {v:.3} |")),
+                        None => row.push_str(" — |"),
+                    }
+                }
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
         out
     }
 
@@ -554,6 +621,16 @@ mod tests {
         assert_eq!(direction("stencil_threads"), Direction::Config);
         assert_eq!(direction("scaling_grid"), Direction::Config);
         assert_eq!(direction("scaling_full_threads"), Direction::Config);
+        assert_eq!(direction("numa_nodes"), Direction::Config);
+        assert_eq!(direction("numa_cores_per_node"), Direction::Config);
+        assert_eq!(direction("timetile_llc_mib"), Direction::Config);
+        assert_eq!(direction("timetile_grid"), Direction::Config);
+        assert_eq!(direction("timetile_full_threads"), Direction::Config);
+        assert_eq!(direction("timetile_k4_t1_gf"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction("timetile_k4_over_k1_t1"),
+            Direction::HigherIsBetter
+        );
         assert_eq!(direction("tracing_off_overhead_ratio"), Direction::NearOne);
         assert_eq!(
             direction("figures_report_seconds"),
@@ -642,6 +719,48 @@ mod tests {
             "{md}"
         );
         assert!(md.contains("| 4 | 20.000 | 0.263 | — | — |"), "{md}");
+    }
+
+    #[test]
+    fn markdown_renders_the_timetile_table() {
+        let h = History {
+            snapshots: vec![snap(
+                7,
+                &[
+                    ("timetile_grid", 256.0),
+                    ("timetile_llc_mib", 260.0),
+                    ("timetile_k1_t1_gf", 2.0),
+                    ("timetile_k4_t1_gf", 3.0),
+                    ("timetile_k1_t4_gf", 6.0),
+                    ("timetile_k8_t4_gf", 9.5),
+                ],
+            )],
+        };
+        let md = h.render_markdown();
+        assert!(md.contains("Steps per traversal (snapshot 7)"), "{md}");
+        assert!(
+            md.contains("(256³ against a 260 MiB last-level cache)"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| steps/traversal | 1-thread GF | 4-thread GF |"),
+            "{md}"
+        );
+        assert!(md.contains("| 1 | 2.000 | 6.000 |"), "{md}");
+        assert!(md.contains("| 4 | 3.000 | — |"), "{md}");
+        assert!(md.contains("| 8 | — | 9.500 |"), "{md}");
+    }
+
+    #[test]
+    fn markdown_survives_snapshots_without_a_timetile_section() {
+        // Every snapshot before PR 7 lacks timetile keys: the dashboard
+        // must render them without the new table rather than erroring.
+        let h = History {
+            snapshots: vec![snap(5, &[("stencil_fast_gf", 19.0)])],
+        };
+        let md = h.render_markdown();
+        assert!(!md.contains("Steps per traversal"), "{md}");
+        assert!(md.contains("stencil_fast_gf"), "{md}");
     }
 
     #[test]

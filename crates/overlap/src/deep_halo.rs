@@ -9,18 +9,23 @@
 //! compute grows by the redundant shell — a trade that pays exactly where
 //! IV-C stopped paying.
 //!
-//! Correctness is exact, not approximate: after an exchange the sub-step
-//! `s` (0-based) computes the region extended `W-1-s` points beyond the
-//! interior, which needs source values `W-s` points out — available by
-//! induction. The result is **bit-identical** to the serial reference
-//! because every computed value sees exactly the same inputs in the same
-//! tap order.
+//! Correctness is exact, not approximate: after an exchange, sub-step
+//! `s` (0-based) needs source values valid `W-s` points beyond the
+//! interior — available by induction from the depth-`W` exchange. The
+//! result is **bit-identical** to the serial reference because every
+//! computed value sees exactly the same inputs in the same tap order.
+//!
+//! Since PR 7 the `W` licensed sub-steps are executed as **one
+//! time-tiled traversal** ([`advect_core::timetile::advance_pooled`]):
+//! instead of `W` whole-grid sweeps between exchanges (each streaming
+//! the subdomain through memory), each trapezoid tile is advanced all
+//! `W` steps while hot in cache. The trace shows exactly one
+//! `timetile.traversal` span per exchange.
 
 use crate::halo::{exchange_halos, HaloBuffers};
 use crate::runner::{assemble_global, local_initial_field, RunConfig};
-use advect_core::field::{Field3, Range3, SharedField};
-use advect_core::stencil::apply_stencil_shared_tiled;
-use advect_core::team::{split_static, ThreadTeam};
+use advect_core::field::Field3;
+use advect_core::sweep::SweepPool;
 use decomp::ExchangePlan;
 use simmpi::World;
 
@@ -55,16 +60,19 @@ impl DeepHaloBulkSync {
             // Wide-halo fields: reuse the initial fill, then re-home it
             // into width-W storage.
             let narrow = local_initial_field(cfg, decomp_ref, rank);
-            let mut cur = Field3::new(nx, ny, nz, width);
+            let pool = SweepPool::new(cfg.threads);
+            let mut cur = Field3::new_placed(nx, ny, nz, width, &pool);
             for (x, y, z) in cur.interior_range().iter() {
                 *cur.at_mut(x, y, z) = narrow.at(x, y, z);
             }
-            let mut new = Field3::new(nx, ny, nz, width);
+            let mut new = Field3::new_placed(nx, ny, nz, width, &pool);
             let plan = ExchangePlan::new(sub.extent, width);
             let halo_bufs = HaloBuffers::new(&plan, comm);
-            let team = ThreadTeam::new(cfg.threads);
             let stencil = cfg.problem.stencil();
-            let tile = cfg.tile_spec(cur.extents().0);
+            let tile = match cfg.tile {
+                Some((ty, tz)) => advect_core::tile::TileSpec::new(ty, tz),
+                None => advect_core::timetile::tile_for_host(cur.extents().0, width, cfg.threads),
+            };
             comm.barrier();
             let mut remaining = cfg.steps;
             while remaining > 0 {
@@ -72,42 +80,22 @@ impl DeepHaloBulkSync {
                 exchange_halos(&mut cur, &plan, decomp_ref, rank, comm, &halo_bufs);
                 let burst = (width as u64).min(remaining);
                 let throttle = comm.throttle_start();
-                let _span = tracer.span(obs::Category::ComputeInterior, "burst");
-                for s in 0..burst {
-                    // Extend the computed region beyond the interior by
-                    // the halo depth still valid after this sub-step.
-                    let e = (width as i64) - 1 - s as i64;
-                    let region = Range3::new(
-                        (-e, nx as i64 + e),
-                        (-e, ny as i64 + e),
-                        (-e, nz as i64 + e),
+                {
+                    // One fused traversal advances the interior by the
+                    // whole burst — the depth-`width` exchange licenses
+                    // every skirt read the trapezoid tiles make.
+                    let _span = tracer.span(obs::Category::ComputeInterior, "timetile.traversal");
+                    advect_core::timetile::advance_pooled(
+                        &cur,
+                        &mut new,
+                        &stencil,
+                        cur.interior_range(),
+                        burst as usize,
+                        tile,
+                        &pool,
                     );
-                    {
-                        let src = &cur;
-                        let writer = SharedField::new(&mut new);
-                        let writer_ref = &writer;
-                        let zspan = (region.z.1 - region.z.0) as usize;
-                        team.parallel(|ctx| {
-                            let chunk = split_static(0..zspan, ctx.num_threads, ctx.tid);
-                            if chunk.is_empty() {
-                                return;
-                            }
-                            let zr = (
-                                region.z.0 + chunk.start as i64,
-                                region.z.0 + chunk.end as i64,
-                            );
-                            apply_stencil_shared_tiled(
-                                src,
-                                writer_ref,
-                                &stencil,
-                                Range3::new(region.x, region.y, zr),
-                                tile,
-                            );
-                        });
-                    }
                     std::mem::swap(&mut cur, &mut new);
                 }
-                drop(_span);
                 comm.throttle_end(throttle);
                 step_hist.observe_since(step_t0);
                 remaining -= burst;
@@ -192,23 +180,22 @@ mod tests {
                 let bufs = HaloBuffers::new(&plan, comm);
                 let stencil = problem.stencil();
                 let mut new = Field3::new(sub.extent.0, sub.extent.1, sub.extent.2, width);
+                let pool = SweepPool::new(1);
+                let tile = advect_core::tile::TileSpec::host(cur.extents().0);
                 let mut remaining = 6u64;
                 while remaining > 0 {
                     exchange_halos(&mut cur, &plan, dref, comm.rank(), comm, &bufs);
                     let burst = (width as u64).min(remaining);
-                    for s in 0..burst {
-                        let e = (width as i64) - 1 - s as i64;
-                        let (nx, ny, nz) = sub.extent;
-                        let region = Range3::new(
-                            (-e, nx as i64 + e),
-                            (-e, ny as i64 + e),
-                            (-e, nz as i64 + e),
-                        );
-                        let writer = SharedField::new(&mut new);
-                        let tile = advect_core::tile::TileSpec::host(cur.extents().0);
-                        apply_stencil_shared_tiled(&cur, &writer, &stencil, region, tile);
-                        std::mem::swap(&mut cur, &mut new);
-                    }
+                    advect_core::timetile::advance_pooled(
+                        &cur,
+                        &mut new,
+                        &stencil,
+                        cur.interior_range(),
+                        burst as usize,
+                        tile,
+                        &pool,
+                    );
+                    std::mem::swap(&mut cur, &mut new);
                     remaining -= burst;
                 }
                 comm.stats().messages_sent
@@ -218,6 +205,27 @@ mod tests {
         let w1 = count_messages(1);
         let w3 = count_messages(3);
         assert_eq!(w1, 3 * w3, "w1 {w1}, w3 {w3}");
+    }
+
+    #[test]
+    fn deep_halo_runs_one_traversal_per_exchange() {
+        // 7 steps at width 3 → bursts of 3, 3, 1: exactly three fused
+        // traversals per rank, one per exchange, visible in the trace.
+        let problem = AdvectionProblem::general_case(12);
+        let cfg = RunConfig::new(problem, 7)
+            .tasks(2)
+            .with_threads(2)
+            .with_trace(true);
+        let (_, report) = DeepHaloBulkSync::run_with_report(&cfg, 3);
+        assert!(!report.traces.is_empty());
+        for trace in &report.traces {
+            let traversals = trace
+                .spans
+                .iter()
+                .filter(|s| s.label == "timetile.traversal")
+                .count();
+            assert_eq!(traversals, 3, "rank {}", trace.rank);
+        }
     }
 
     #[test]
