@@ -1,0 +1,227 @@
+//! Model-vs-measured divergence glue: build each implementation's
+//! `perfmodel` resource timeline, align it with a traced run's measured
+//! overlap metrics, and assemble the [`obs::divergence::DivergenceReport`]
+//! the `blame_run` binary renders and CI gates on.
+//!
+//! The model prices the paper-scale problem on Yona while the measured
+//! runs use small test grids, so *absolute* times are incomparable by
+//! construction — the aligned quantities are dimensionless: overlap
+//! efficiencies and the exchange share of the step. The CI gate is
+//! ordinal on top of that: when the model confidently ranks one
+//! implementation's overlap above another's, the measurement must not
+//! confidently disagree.
+
+use obs::divergence::{
+    model_pair_overlap, model_share, DivergenceReport, DivergenceRow, ModelInterval,
+};
+use obs::Resource;
+use overlap::{Impl, RunConfig, RunReport};
+use perfmodel::{CpuScenario, GpuImpl, GpuScenario, Res};
+
+/// Map a schedule op to the measured-trace resource taxonomy. `Res::None`
+/// ops are classified by tag (CPU walls and co-scheduled face kernels are
+/// compute; host staging is staging; bare dependency nodes vanish).
+fn resource_of(res: Res, tag: &str) -> Option<Resource> {
+    match res {
+        Res::Nic => Some(Resource::Mpi),
+        Res::CopyH2D | Res::CopyD2H => Some(Resource::Pcie),
+        Res::GpuCompute | Res::Cpu => Some(Resource::Compute),
+        Res::None => match tag {
+            "wall" | "faces" => Some(Resource::Compute),
+            "stage" => Some(Resource::Staging),
+            _ => None,
+        },
+    }
+}
+
+/// The per-step model timeline of an implementation, as resource busy
+/// intervals. GPU implementations export their discrete-event schedule;
+/// CPU implementations synthesize intervals from their step breakdowns
+/// (serial vs hidden communication, exactly as each model composes its
+/// step time).
+pub fn model_intervals(im: Impl, cfg: &RunConfig) -> Vec<ModelInterval> {
+    let m = machine::yona();
+    let threads = cfg.threads.max(1);
+    let cores = (cfg.ntasks * threads).max(1);
+    if im.uses_gpu() {
+        let gim = match im {
+            Impl::GpuResident => GpuImpl::Resident,
+            Impl::GpuBulkSync => GpuImpl::BulkSync,
+            Impl::GpuStreams => GpuImpl::Streams,
+            Impl::HybridBulkSync => GpuImpl::HybridBulkSync,
+            Impl::HybridOverlap => GpuImpl::HybridOverlap,
+            _ => unreachable!("uses_gpu covers exactly the GPU impls"),
+        };
+        let sc = GpuScenario::new(&m, cores.max(m.cores_per_node()), threads)
+            .with_block(cfg.block)
+            .with_thickness(cfg.thickness.max(1));
+        return sc
+            .schedule(gim)
+            .ops()
+            .into_iter()
+            .filter_map(|(res, tag, start, end)| resource_of(res, tag).map(|r| (r, start, end)))
+            .collect();
+    }
+    let sc = CpuScenario::new(&m, cores, threads);
+    match im {
+        Impl::SingleTask => {
+            vec![(Resource::Compute, 0.0, sc.step_single_task())]
+        }
+        Impl::BulkSync => {
+            // Strictly serial: the exchange, then the whole-domain sweep.
+            let b = sc.breakdown_bulk_sync();
+            vec![
+                (Resource::Mpi, 0.0, b.communication),
+                (
+                    Resource::Compute,
+                    b.communication,
+                    b.communication + b.compute + b.overhead,
+                ),
+            ]
+        }
+        Impl::Nonblocking => {
+            // The hidden part of the communication (total minus the
+            // breakdown's unhidden remainder) runs under the interior
+            // compute; the unhidden tail serializes after it.
+            let total_comm = sc.breakdown_bulk_sync().communication;
+            let b = sc.breakdown_nonblocking();
+            let hidden = (total_comm - b.communication).max(0.0);
+            let compute_end = b.compute + b.overhead;
+            vec![
+                (Resource::Compute, 0.0, compute_end),
+                (Resource::Mpi, 0.0, hidden.min(compute_end)),
+                (Resource::Mpi, compute_end, compute_end + b.communication),
+            ]
+        }
+        Impl::ThreadOverlap => {
+            // The master thread communicates while T−1 threads compute;
+            // only the calibrated hide fraction actually overlaps.
+            let comm = sc.breakdown_bulk_sync().communication;
+            let hide = if threads > 1 {
+                perfmodel::params::THREAD_OVERLAP_HIDE
+            } else {
+                0.0
+            };
+            let compute = sc.step_thread_overlap() - (1.0 - hide) * comm;
+            let compute_end = compute.max(0.0);
+            vec![
+                (Resource::Compute, 0.0, compute_end),
+                (Resource::Mpi, 0.0, (hide * comm).min(compute_end)),
+                (
+                    Resource::Mpi,
+                    compute_end,
+                    compute_end + (1.0 - hide) * comm,
+                ),
+            ]
+        }
+        _ => unreachable!("GPU impls handled above"),
+    }
+}
+
+/// Align one implementation's model timeline against its measured traced
+/// run.
+pub fn divergence_row(im: Impl, cfg: &RunConfig, report: &RunReport) -> DivergenceRow {
+    let iv = model_intervals(im, cfg);
+    let mpi = report.mpi_compute_overlap();
+    let pcie = report.pcie_compute_overlap();
+    // `busy_a` accumulates across ranks while the makespan maxes, so
+    // normalize to the per-rank average share of the run spent in MPI —
+    // the model side is likewise a single rank's schedule share.
+    let ranks = report.traces.len().max(1) as f64;
+    let measured_exchange_share = if mpi.makespan > 0.0 {
+        mpi.busy_a / (mpi.makespan * ranks)
+    } else {
+        0.0
+    };
+    DivergenceRow {
+        slug: im.slug().to_string(),
+        uses_mpi: im.uses_mpi(),
+        uses_gpu: im.uses_gpu(),
+        model_mpi_eff: model_pair_overlap(&iv, Resource::Mpi, Resource::Compute).efficiency(),
+        measured_mpi_eff: mpi.efficiency(),
+        model_pcie_eff: model_pair_overlap(&iv, Resource::Pcie, Resource::Compute).efficiency(),
+        measured_pcie_eff: pcie.efficiency(),
+        model_exchange_share: model_share(&iv, Resource::Mpi),
+        measured_exchange_share,
+    }
+}
+
+/// Assemble the divergence table from per-impl traced runs.
+pub fn divergence_report(runs: &[(Impl, RunConfig, RunReport)]) -> DivergenceReport {
+    DivergenceReport {
+        rows: runs
+            .iter()
+            .map(|(im, cfg, report)| divergence_row(*im, cfg, report))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advect_core::stepper::AdvectionProblem;
+    use simgpu::GpuSpec;
+
+    fn traced_cfg(im: Impl) -> RunConfig {
+        let cfg = RunConfig::new(AdvectionProblem::general_case(12), 2)
+            .with_block((8, 8))
+            .with_trace(true);
+        if im.uses_mpi() {
+            cfg.tasks(4)
+        } else {
+            cfg
+        }
+    }
+
+    #[test]
+    fn model_timelines_cover_the_expected_resources() {
+        let cfg = traced_cfg(Impl::BulkSync);
+        for im in Impl::ALL {
+            let iv = model_intervals(im, &cfg);
+            assert!(!iv.is_empty(), "{}: empty timeline", im.slug());
+            let has = |r: Resource| iv.iter().any(|&(res, _, _)| res == r);
+            assert_eq!(has(Resource::Mpi), im.uses_mpi(), "{}: mpi", im.slug());
+            // Every GPU impl but the resident one moves halos over PCIe.
+            let expects_pcie = im.uses_gpu() && im != Impl::GpuResident;
+            assert_eq!(has(Resource::Pcie), expects_pcie, "{}: pcie", im.slug());
+            assert!(has(Resource::Compute), "{}: no compute", im.slug());
+            for &(_, s, e) in &iv {
+                assert!(e >= s && s >= 0.0, "{}: bad interval", im.slug());
+            }
+        }
+    }
+
+    #[test]
+    fn model_ranks_overlap_impls_above_bulk_sync() {
+        let cfg = traced_cfg(Impl::BulkSync);
+        let eff = |im: Impl| {
+            let iv = model_intervals(im, &cfg);
+            model_pair_overlap(&iv, Resource::Mpi, Resource::Compute).efficiency()
+        };
+        assert!(eff(Impl::BulkSync) < 0.05, "bulk-sync should not overlap");
+        assert!(
+            eff(Impl::Nonblocking) > eff(Impl::BulkSync) + 0.25,
+            "nonblocking {} vs bulk {}",
+            eff(Impl::Nonblocking),
+            eff(Impl::BulkSync)
+        );
+        assert!(
+            eff(Impl::HybridOverlap) > eff(Impl::HybridBulkSync),
+            "IV-I should overlap MPI more than IV-H"
+        );
+    }
+
+    #[test]
+    fn measured_rows_align_against_real_runs() {
+        let spec = GpuSpec::tesla_c2050();
+        let im = Impl::BulkSync;
+        let cfg = traced_cfg(im);
+        let (_, report) = im.run_with_report(&cfg, Some(&spec));
+        let row = divergence_row(im, &cfg, &report);
+        assert_eq!(row.slug, "bulk_sync");
+        assert!(row.uses_mpi && !row.uses_gpu);
+        assert!(row.model_mpi_eff >= 0.0 && row.model_mpi_eff <= 1.0);
+        assert!(row.measured_mpi_eff >= 0.0 && row.measured_mpi_eff <= 1.0);
+        assert!(row.measured_exchange_share > 0.0, "traced run saw no MPI");
+    }
+}

@@ -7,6 +7,7 @@
 use figures::json::Value;
 use std::collections::BTreeSet;
 
+pub mod divergence;
 pub mod history;
 
 /// Summary of a validated Chrome-trace document.
@@ -20,6 +21,12 @@ pub struct TraceCheck {
     pub begin_events: usize,
     /// End ("E") events.
     pub end_events: usize,
+    /// Flow-start ("s") events (each matched by an "f" with the same id).
+    pub flow_start_events: usize,
+    /// Flow-step ("t") events.
+    pub flow_step_events: usize,
+    /// Flow-finish ("f") events.
+    pub flow_finish_events: usize,
     /// Distinct event categories (`cat` fields) present.
     pub categories: BTreeSet<String>,
 }
@@ -38,6 +45,13 @@ impl TraceCheck {
 /// relies on for streaming loads), and "B"/"E" begin/end events properly
 /// nested per track — every "E" closes the most recent open "B" of the
 /// same name, and no "B" is left open at the end of the document.
+///
+/// Flow events ("s"/"t"/"f") are validated as chains: each carries a
+/// numeric `id`; a chain starts with exactly one "s", may pass through
+/// "t" steps, and must end with exactly one "f"; timestamps never
+/// decrease along a chain (an arrow cannot point backwards in time); the
+/// only accepted bind point is `"bp":"e"` (the exporter binds arrows to
+/// slice ends). An unterminated or restarted chain is an error.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     let doc = Value::parse(text)?;
     let events = doc["traceEvents"]
@@ -48,17 +62,26 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         meta_events: 0,
         begin_events: 0,
         end_events: 0,
+        flow_start_events: 0,
+        flow_step_events: 0,
+        flow_finish_events: 0,
         categories: BTreeSet::new(),
     };
     let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
     let mut open: std::collections::BTreeMap<(u64, u64), Vec<String>> = Default::default();
+    // Per flow id: every `s`/`t`/`f` event as `(phase, ts, file index)`.
+    // Chains are validated after the scan, because the export sorts all
+    // events by (pid, tid, ts): an edge from a higher-pid sender to a
+    // lower-pid receiver legitimately places its "f" before its "s" in
+    // file order, and the Chrome trace format is order-independent.
+    let mut flows: std::collections::BTreeMap<u64, Vec<(String, f64, usize)>> = Default::default();
     for (i, e) in events.iter().enumerate() {
         let ph = e["ph"].as_str().ok_or(format!("event {i}: missing ph"))?;
         if ph == "M" {
             check.meta_events += 1;
             continue;
         }
-        if !matches!(ph, "X" | "B" | "E") {
+        if !matches!(ph, "X" | "B" | "E" | "s" | "t" | "f") {
             return Err(format!("event {i}: unexpected ph {ph:?}"));
         }
         let name = e["name"].as_str().ok_or(format!("event {i}: no name"))?;
@@ -116,12 +139,55 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
                     Some(_) => {}
                 }
             }
+            "s" | "t" | "f" => {
+                let id = num("id")? as u64;
+                if let Some(bp) = e["bp"].as_str() {
+                    if bp != "e" {
+                        return Err(format!("event {i}: flow {id} bad bind point {bp:?}"));
+                    }
+                }
+                match ph {
+                    "s" => check.flow_start_events += 1,
+                    "f" => check.flow_finish_events += 1,
+                    _ => check.flow_step_events += 1,
+                }
+                flows.entry(id).or_default().push((ph.to_string(), ts, i));
+            }
             _ => unreachable!(),
         }
     }
     for ((pid, tid), stack) in &open {
         if let Some(name) = stack.last() {
             return Err(format!("track ({pid},{tid}): \"B\" {name:?} never closed"));
+        }
+    }
+    for (id, chain) in &flows {
+        let starts: Vec<_> = chain.iter().filter(|(ph, _, _)| ph == "s").collect();
+        let finishes: Vec<_> = chain.iter().filter(|(ph, _, _)| ph == "f").collect();
+        let Some(&&(_, s_ts, _)) = starts.first() else {
+            let (ph, _, i) = chain.first().expect("non-empty chain");
+            return Err(format!("event {i}: flow {id} {ph:?} without an \"s\""));
+        };
+        if let Some(&&(_, _, i)) = starts.get(1) {
+            return Err(format!("event {i}: flow {id} started twice"));
+        }
+        let Some(&&(_, f_ts, _)) = finishes.first() else {
+            return Err(format!("flow {id}: \"s\" never finished by an \"f\""));
+        };
+        if let Some(&&(_, _, i)) = finishes.get(1) {
+            return Err(format!("event {i}: flow {id} continues after \"f\""));
+        }
+        for (ph, ts, i) in chain.iter() {
+            let (ts, i) = (*ts, *i);
+            if ts < s_ts {
+                return Err(format!(
+                    "event {i}: flow {id} timestamps decrease along the \
+                     chain ({ts} after {s_ts})"
+                ));
+            }
+            if ph == "t" && ts > f_ts {
+                return Err(format!("event {i}: flow {id} continues after \"f\""));
+            }
         }
     }
     if check.complete_events == 0 && check.begin_events == 0 {
@@ -332,6 +398,114 @@ mod tests {
         ]}"#;
         let err = validate_chrome_trace(backwards).unwrap_err();
         assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn validates_flow_chains() {
+        let ok = r#"{"traceEvents":[
+            {"name":"x","cat":"c","ph":"X","pid":0,"tid":1,"ts":1.0,"dur":4.0},
+            {"name":"msg","cat":"flow","ph":"s","id":1,"pid":0,"tid":1,"ts":1.0},
+            {"name":"msg","cat":"flow","ph":"t","id":1,"pid":1,"tid":1,"ts":2.0},
+            {"name":"msg","cat":"flow","ph":"f","bp":"e","id":1,"pid":2,"tid":1,"ts":3.0},
+            {"name":"msg","cat":"flow","ph":"s","id":2,"pid":0,"tid":1,"ts":4.0},
+            {"name":"msg","cat":"flow","ph":"f","bp":"e","id":2,"pid":1,"tid":1,"ts":5.0}
+        ]}"#;
+        let check = validate_chrome_trace(ok).expect("valid flows");
+        assert_eq!(check.flow_start_events, 2);
+        assert_eq!(check.flow_step_events, 1);
+        assert_eq!(check.flow_finish_events, 2);
+    }
+
+    #[test]
+    fn validates_exporter_flow_output() {
+        let t0 = Trace {
+            rank: 0,
+            spans: vec![Span::channel(Category::MpiSend, "send", 1, 0, 500, 1, 7, 0)],
+            dropped: 0,
+        };
+        let t1 = Trace {
+            rank: 1,
+            spans: vec![Span::channel(
+                Category::MpiWait,
+                "wait",
+                1,
+                100,
+                900,
+                0,
+                7,
+                0,
+            )],
+            dropped: 0,
+        };
+        let check = validate_chrome_trace(&obs::chrome::chrome_trace(&[t0, t1])).expect("valid");
+        assert_eq!(check.flow_start_events, 1);
+        assert_eq!(check.flow_finish_events, 1);
+        assert!(check.has_categories(&["flow"]));
+    }
+
+    #[test]
+    fn rejects_broken_flow_fixtures() {
+        // "f" with an id no "s" started.
+        let orphan = r#"{"traceEvents":[
+            {"name":"x","cat":"c","ph":"X","pid":0,"tid":1,"ts":0.0,"dur":1.0},
+            {"name":"msg","cat":"flow","ph":"f","bp":"e","id":9,"pid":0,"tid":1,"ts":1.0}
+        ]}"#;
+        let err = validate_chrome_trace(orphan).unwrap_err();
+        assert!(err.contains("without an \"s\""), "{err}");
+
+        // Flow id started twice.
+        let dup = r#"{"traceEvents":[
+            {"name":"x","cat":"c","ph":"X","pid":0,"tid":1,"ts":0.0,"dur":1.0},
+            {"name":"msg","cat":"flow","ph":"s","id":1,"pid":0,"tid":1,"ts":1.0},
+            {"name":"msg","cat":"flow","ph":"s","id":1,"pid":1,"tid":1,"ts":2.0},
+            {"name":"msg","cat":"flow","ph":"f","bp":"e","id":1,"pid":1,"tid":1,"ts":3.0}
+        ]}"#;
+        let err = validate_chrome_trace(dup).unwrap_err();
+        assert!(err.contains("started twice"), "{err}");
+
+        // Timestamps decreasing along the chain (arrow pointing backwards).
+        let backwards = r#"{"traceEvents":[
+            {"name":"x","cat":"c","ph":"X","pid":0,"tid":1,"ts":0.0,"dur":9.0},
+            {"name":"msg","cat":"flow","ph":"s","id":1,"pid":0,"tid":1,"ts":5.0},
+            {"name":"msg","cat":"flow","ph":"f","bp":"e","id":1,"pid":1,"tid":1,"ts":4.0}
+        ]}"#;
+        let err = validate_chrome_trace(backwards).unwrap_err();
+        assert!(err.contains("decrease along the chain"), "{err}");
+
+        // "s" never finished.
+        let unterminated = r#"{"traceEvents":[
+            {"name":"x","cat":"c","ph":"X","pid":0,"tid":1,"ts":0.0,"dur":1.0},
+            {"name":"msg","cat":"flow","ph":"s","id":1,"pid":0,"tid":1,"ts":1.0}
+        ]}"#;
+        let err = validate_chrome_trace(unterminated).unwrap_err();
+        assert!(err.contains("never finished"), "{err}");
+
+        // Chain continuing after its "f".
+        let after_f = r#"{"traceEvents":[
+            {"name":"x","cat":"c","ph":"X","pid":0,"tid":1,"ts":0.0,"dur":9.0},
+            {"name":"msg","cat":"flow","ph":"s","id":1,"pid":0,"tid":1,"ts":1.0},
+            {"name":"msg","cat":"flow","ph":"f","bp":"e","id":1,"pid":1,"tid":1,"ts":2.0},
+            {"name":"msg","cat":"flow","ph":"t","id":1,"pid":1,"tid":1,"ts":3.0}
+        ]}"#;
+        let err = validate_chrome_trace(after_f).unwrap_err();
+        assert!(err.contains("after \"f\""), "{err}");
+
+        // Only end binding is accepted.
+        let bad_bp = r#"{"traceEvents":[
+            {"name":"x","cat":"c","ph":"X","pid":0,"tid":1,"ts":0.0,"dur":9.0},
+            {"name":"msg","cat":"flow","ph":"s","id":1,"pid":0,"tid":1,"ts":1.0},
+            {"name":"msg","cat":"flow","ph":"f","bp":"b","id":1,"pid":1,"tid":1,"ts":2.0}
+        ]}"#;
+        let err = validate_chrome_trace(bad_bp).unwrap_err();
+        assert!(err.contains("bad bind point"), "{err}");
+
+        // A flow event without an id is malformed.
+        let no_id = r#"{"traceEvents":[
+            {"name":"x","cat":"c","ph":"X","pid":0,"tid":1,"ts":0.0,"dur":1.0},
+            {"name":"msg","cat":"flow","ph":"s","pid":0,"tid":1,"ts":1.0}
+        ]}"#;
+        let err = validate_chrome_trace(no_id).unwrap_err();
+        assert!(err.contains("bad id"), "{err}");
     }
 
     #[test]

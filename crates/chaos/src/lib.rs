@@ -18,6 +18,8 @@ use advect_core::stepper::{AdvectionProblem, SerialStepper};
 use overlap::{FaultSpec, Impl, RunConfig, RunReport};
 use simgpu::GpuSpec;
 
+pub mod straggler;
+
 /// Parameters of one soak sweep.
 #[derive(Debug, Clone)]
 pub struct SoakConfig {

@@ -1,0 +1,197 @@
+//! Seeded straggler injection verified against trace-only detection.
+//!
+//! The fault plan knows exactly which ranks it throttles
+//! ([`simmpi::FaultPlan::is_straggler`]); the causal blame pipeline
+//! (`obs::causal`) must rediscover them from span traces alone — no
+//! access to the plan, only to who waited on whom. This module runs a
+//! traced bulk-synchronous exchange under a seeded straggler plan and
+//! compares the detector's verdict against the injected ground truth,
+//! the closed-loop check the `blame_run` CI gate sweeps over seeds.
+
+use advect_core::stepper::AdvectionProblem;
+use overlap::{BulkSyncMpi, FaultSpec, RunConfig};
+use simmpi::FaultPlan;
+
+/// Traced runs per seeded detection verdict; the detector medians the
+/// blame matrices so one noisy repeat cannot flip the verdict.
+pub const DETECT_REPEATS: usize = 3;
+
+/// Traced runs per clean-gate verdict; a false positive must survive
+/// the intersection of all of them. More repeats than the seeded gate
+/// because the clean gate guards against correlated scheduling bias
+/// (the same rank can draw the short straw twice), and clean runs are
+/// cheap — no throttle sleeps.
+pub const CLEAN_REPEATS: usize = 5;
+
+/// Shape of one detection run.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectConfig {
+    /// Global cubic grid edge.
+    pub n: usize,
+    /// Time steps (more steps accumulate more blame signal).
+    pub steps: u64,
+    /// MPI tasks.
+    pub tasks: usize,
+    /// Probability each rank straggles under the seeded plan.
+    pub prob: f64,
+    /// Compute slowdown factor of a straggling rank.
+    pub factor: f64,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        // Large enough that a factor-12 straggler owes hundreds of
+        // milliseconds of blame per run — several times the detector's
+        // compute-scale floor even when a co-straggler masks part of its
+        // lateness — while a clean run still finishes in tens of
+        // milliseconds. Eight steps rather than a bare few because the
+        // throttle signal accumulates linearly with steps while host
+        // scheduling noise (and with it the baseline's median net blame,
+        // which scales the flag threshold) grows sub-linearly: the extra
+        // steps are what keeps the *weaker* of two co-stragglers above
+        // threshold on a slow or heavily shared host.
+        DetectConfig {
+            n: 32,
+            steps: 8,
+            tasks: 4,
+            prob: 0.25,
+            factor: 12.0,
+        }
+    }
+}
+
+impl DetectConfig {
+    /// The seeded plan: only stragglers, no delivery perturbation (so
+    /// every blocked wait traces back to a slow sender, not to limbo).
+    pub fn plan(&self, seed: u64) -> FaultPlan {
+        FaultPlan::off()
+            .with_seed(seed)
+            .with_stragglers(self.prob, self.factor)
+    }
+
+    /// Ground truth: the ranks the seeded plan throttles, ascending.
+    pub fn injected(&self, seed: u64) -> Vec<usize> {
+        let plan = self.plan(seed);
+        (0..self.tasks).filter(|&r| plan.is_straggler(r)).collect()
+    }
+
+    /// Whether a seed is usable for the closed-loop check: at least one
+    /// straggler injected, and at least *two* healthy ranks left as
+    /// witnesses. With a single healthy rank the blame matrix has only
+    /// one informative row, and equally-throttled peers mask each
+    /// other's lateness — no trace-only detector can tell "three ranks
+    /// are slow" from "one rank is fast" there.
+    pub fn seed_usable(&self, seed: u64) -> bool {
+        let k = self.injected(seed).len();
+        k >= 1 && k + 2 <= self.tasks
+    }
+
+    /// The first `want` usable seeds at or after `from`.
+    pub fn usable_seeds(&self, from: u64, want: usize) -> Vec<u64> {
+        (from..)
+            .filter(|&s| self.seed_usable(s))
+            .take(want)
+            .collect()
+    }
+
+    fn run_config(&self, plan: FaultPlan) -> RunConfig {
+        RunConfig::new(AdvectionProblem::general_case(self.n), self.steps)
+            .tasks(self.tasks)
+            .with_trace(true)
+            .with_faults(FaultSpec {
+                mpi: plan,
+                gpu: simgpu::GpuFaultPlan::off(),
+            })
+    }
+
+    /// Median-of-repeats detection under one fault plan: run the traced
+    /// exchange [`DETECT_REPEATS`] times, take the cell-wise median of
+    /// the blame matrices and the median compute-scale floor, and flag
+    /// against those. The seeded throttle owes blame in every repeat,
+    /// while a rank descheduled by the host in one unlucky run spikes
+    /// only once — the median keeps the former and votes out the latter.
+    fn detect_plan(&self, plan: FaultPlan) -> Vec<usize> {
+        let cfg = self.run_config(plan);
+        let mut blames = Vec::with_capacity(DETECT_REPEATS);
+        let mut floors = Vec::with_capacity(DETECT_REPEATS);
+        for _ in 0..DETECT_REPEATS {
+            let (_, report) = BulkSyncMpi::run_with_report(&cfg);
+            blames.push(report.blame());
+            floors.push(report.straggler_floor_ns());
+        }
+        floors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let floor = floors[floors.len() / 2];
+        obs::causal::detect_stragglers_with(&obs::causal::Blame::median_of(&blames), floor).flagged
+    }
+
+    /// Run the traced exchange under the seeded plan and return
+    /// `(injected ranks, flagged ranks)` — equal iff detection is exact.
+    pub fn detect(&self, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        (self.injected(seed), self.detect_plan(self.plan(seed)))
+    }
+
+    /// Run the traced exchange with no faults at all and return the
+    /// ranks flagged in *every* repeat — any survivor is a false
+    /// positive. The clean gate intersects per-run verdicts rather than
+    /// medianing matrices: a genuine straggler (a seeded throttle, a
+    /// sick node) is slow in every repeat, while a host-scheduling
+    /// transient flags at most an unlucky run or two, so the
+    /// intersection converges to empty on a healthy system without
+    /// loosening the per-run detector at all.
+    pub fn detect_clean(&self) -> Vec<usize> {
+        let cfg = self.run_config(FaultPlan::off());
+        let mut survivors: Option<Vec<usize>> = None;
+        for _ in 0..CLEAN_REPEATS {
+            let (_, report) = BulkSyncMpi::run_with_report(&cfg);
+            let flagged = report.stragglers().flagged;
+            survivors = Some(match survivors {
+                None => flagged,
+                Some(prev) => prev.into_iter().filter(|r| flagged.contains(r)).collect(),
+            });
+            if survivors.as_ref().is_some_and(|s| s.is_empty()) {
+                break;
+            }
+        }
+        survivors.unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_ranks_are_deterministic_and_seed_dependent() {
+        let cfg = DetectConfig::default();
+        let seeds = cfg.usable_seeds(1, 16);
+        assert_eq!(seeds.len(), 16);
+        let mut distinct = std::collections::HashSet::new();
+        for &s in &seeds {
+            assert_eq!(cfg.injected(s), cfg.injected(s));
+            assert!(cfg.seed_usable(s));
+            distinct.insert(cfg.injected(s));
+        }
+        assert!(distinct.len() > 1, "every seed injected the same set");
+    }
+
+    #[test]
+    fn detector_names_injected_stragglers_exactly() {
+        let cfg = DetectConfig::default();
+        for seed in cfg.usable_seeds(1, 6) {
+            let (injected, flagged) = cfg.detect(seed);
+            assert_eq!(
+                flagged, injected,
+                "seed {seed}: flagged {flagged:?}, injected {injected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_runs_flag_no_rank() {
+        let cfg = DetectConfig::default();
+        for _ in 0..3 {
+            let flagged = cfg.detect_clean();
+            assert!(flagged.is_empty(), "false positives: {flagged:?}");
+        }
+    }
+}

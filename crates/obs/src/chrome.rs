@@ -7,8 +7,14 @@
 //! timeline appear under process `1000 + r` (one track per stream), so
 //! the host's real timing and the simulator's scheduled timing sit side
 //! by side without pretending they share a clock.
+//!
+//! Stamped message transfers additionally become **flow events** (`ph`
+//! `"s"`/`"f"`): one arrow per matched send→recv edge of the causal
+//! graph, starting inside the sender's `mpi.send` slice and binding to
+//! the end (`"bp":"e"`) of the receiver's wait slice — in Perfetto, the
+//! arrow you follow to see whom a wait was waiting on.
 
-use crate::{Axis, Trace};
+use crate::{causal, Axis, Trace};
 
 /// Process-id offset for virtual-axis (device-timeline) tracks.
 pub const VIRTUAL_PID_OFFSET: u64 = 1000;
@@ -36,10 +42,14 @@ fn fmt_us(us: f64) -> String {
 struct Event {
     name: String,
     cat: &'static str,
+    /// `"X"` complete event, `"s"` flow start, `"f"` flow finish.
+    ph: &'static str,
     pid: u64,
     tid: u64,
     ts_us: f64,
     dur_us: f64,
+    /// Flow id linking an `"s"`/`"f"` pair; unused for `"X"`.
+    id: u64,
 }
 
 /// Serialise per-rank traces to a Chrome-trace JSON string.
@@ -78,10 +88,12 @@ pub fn chrome_trace(traces: &[Trace]) -> String {
             events.push(Event {
                 name,
                 cat: s.cat.name(),
+                ph: "X",
                 pid,
                 tid: s.tid as u64,
                 ts_us,
                 dur_us,
+                id: 0,
             });
         }
         if has_wall {
@@ -97,16 +109,62 @@ pub fn chrome_trace(traces: &[Trace]) -> String {
             ));
         }
     }
+    // One flow arrow per matched causal edge: "s" inside the send slice,
+    // "f" bound to the end of the receive-side wait slice. Ids are 1-based
+    // so 0 can mean "no id" in the Event struct.
+    for (i, e) in causal::build(traces).edges.iter().enumerate() {
+        let id = i as u64 + 1;
+        events.push(Event {
+            name: "msg".to_string(),
+            cat: "flow",
+            ph: "s",
+            pid: e.src as u64,
+            tid: e.send_tid as u64,
+            ts_us: e.send_start_ns as f64 / 1e3,
+            dur_us: 0.0,
+            id,
+        });
+        events.push(Event {
+            name: "msg".to_string(),
+            cat: "flow",
+            ph: "f",
+            pid: e.dst as u64,
+            tid: e.recv_tid as u64,
+            ts_us: e.wait_end_ns as f64 / 1e3,
+            dur_us: 0.0,
+            id,
+        });
+    }
     // Sort by (pid, tid, ts) so each track's timestamps are monotone in
-    // file order — the property the CI smoke check validates.
+    // file order — the property the CI smoke check validates. The sort is
+    // stable, so an "s" flow event at a send's start timestamp stays
+    // after the "X" slice it binds into.
     events.sort_by(|a, b| {
         (a.pid, a.tid)
             .cmp(&(b.pid, b.tid))
             .then(a.ts_us.partial_cmp(&b.ts_us).unwrap())
     });
     let mut lines: Vec<String> = meta;
-    lines.extend(events.iter().map(|e| {
-        format!(
+    lines.extend(events.iter().map(|e| match e.ph {
+        "s" => format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"s\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":{}}}",
+            escape(&e.name),
+            e.cat,
+            e.id,
+            e.pid,
+            e.tid,
+            fmt_us(e.ts_us)
+        ),
+        "f" => format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":{}}}",
+            escape(&e.name),
+            e.cat,
+            e.id,
+            e.pid,
+            e.tid,
+            fmt_us(e.ts_us)
+        ),
+        _ => format!(
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}}}",
             escape(&e.name),
             e.cat,
@@ -114,7 +172,7 @@ pub fn chrome_trace(traces: &[Trace]) -> String {
             e.tid,
             fmt_us(e.ts_us),
             fmt_us(e.dur_us)
-        )
+        ),
     }));
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     out.push_str(&lines.join(",\n"));
@@ -153,6 +211,60 @@ mod tests {
         assert!(compute < send);
         // Unlabelled spans use the bare category name.
         assert!(json.contains("\"name\":\"compute.interior\""));
+    }
+
+    #[test]
+    fn stamped_transfers_become_flow_arrows() {
+        let t0 = Trace {
+            rank: 0,
+            spans: vec![Span::channel(
+                Category::MpiSend,
+                "send",
+                1,
+                2_000,
+                3_000,
+                1,
+                7,
+                0,
+            )],
+            dropped: 0,
+        };
+        let t1 = Trace {
+            rank: 1,
+            spans: vec![Span::channel(
+                Category::MpiWait,
+                "wait",
+                1,
+                1_000,
+                4_000,
+                0,
+                7,
+                0,
+            )],
+            dropped: 0,
+        };
+        let json = chrome_trace(&[t0, t1]);
+        assert!(json.contains("\"ph\":\"s\",\"id\":1,\"pid\":0,\"tid\":1,\"ts\":2.000"));
+        assert!(
+            json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"pid\":1,\"tid\":1,\"ts\":4.000")
+        );
+        // The "s" event stays after the X slice it binds into (stable
+        // sort at equal ts).
+        let slice = json.find("\"cat\":\"mpi.send\"").unwrap();
+        let flow_s = json.find("\"ph\":\"s\"").unwrap();
+        assert!(slice < flow_s);
+    }
+
+    #[test]
+    fn unstamped_spans_emit_no_flows() {
+        let t = Trace {
+            rank: 0,
+            spans: vec![Span::wall(Category::MpiSend, "send", 1, 0, 10)],
+            dropped: 0,
+        };
+        let json = chrome_trace(&[t]);
+        assert!(!json.contains("\"ph\":\"s\""));
+        assert!(!json.contains("\"ph\":\"f\""));
     }
 
     #[test]

@@ -40,8 +40,10 @@
 //!   paper's "off the critical path" claim into a checkable table.
 
 pub mod breakdown;
+pub mod causal;
 pub mod chrome;
 pub mod critical;
+pub mod divergence;
 pub mod metrics;
 pub mod registry;
 
@@ -53,6 +55,13 @@ use std::time::Instant;
 /// Default span capacity per tracer (spans beyond it are counted, not
 /// recorded, so a runaway loop cannot grow memory without bound).
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Sentinel for a span that carries no per-channel sequence number (every
+/// span except the stamped `mpi.send`/`mpi.recv`/`mpi.wait` records).
+pub const NO_SEQ: u64 = u64::MAX;
+
+/// Sentinel for a span with no channel peer rank.
+pub const NO_PEER: u32 = u32::MAX;
 
 /// Trace slabs allocated process-wide since start. Steady-state tests
 /// assert this stays flat while tracing is off and grows only at
@@ -220,6 +229,15 @@ pub struct Span {
     pub virt_start: f64,
     /// Virtual end, seconds (virtual spans only).
     pub virt_end: f64,
+    /// Channel peer rank for stamped `mpi.*` spans ([`NO_PEER`] otherwise):
+    /// the destination of a send, the source of a receive/wait.
+    pub peer: u32,
+    /// Channel tag for stamped `mpi.*` spans (0 otherwise).
+    pub tag: u64,
+    /// Per-`(src, tag)` delivery sequence number carried from the send
+    /// through limbo into the matching receive ([`NO_SEQ`] when the span
+    /// is not a stamped channel operation).
+    pub seq: u64,
 }
 
 impl Span {
@@ -234,7 +252,37 @@ impl Span {
             wall_end_ns: end_ns,
             virt_start: 0.0,
             virt_end: 0.0,
+            peer: NO_PEER,
+            tag: 0,
+            seq: NO_SEQ,
         }
+    }
+
+    /// A wall-clock span stamped with its message channel identity
+    /// `(peer, tag, seq)` — the causal ID that lets [`causal`] match this
+    /// span to the other end of the transfer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn channel(
+        cat: Category,
+        label: &'static str,
+        tid: u32,
+        start_ns: u64,
+        end_ns: u64,
+        peer: u32,
+        tag: u64,
+        seq: u64,
+    ) -> Self {
+        Span {
+            peer,
+            tag,
+            seq,
+            ..Span::wall(cat, label, tid, start_ns, end_ns)
+        }
+    }
+
+    /// Whether this span carries a causal channel stamp.
+    pub fn is_stamped(&self) -> bool {
+        self.seq != NO_SEQ && self.peer != NO_PEER
     }
 
     /// A virtual-clock span (bridged from the device timeline).
@@ -254,6 +302,9 @@ impl Span {
             wall_end_ns: 0,
             virt_start: start,
             virt_end: end,
+            peer: NO_PEER,
+            tag: 0,
+            seq: NO_SEQ,
         }
     }
 
@@ -416,6 +467,34 @@ impl Tracer {
     pub fn record_wall(&self, cat: Category, label: &'static str, start_ns: u64, end_ns: u64) {
         if self.inner.is_some() {
             self.push(Span::wall(cat, label, thread_slot(), start_ns, end_ns));
+        }
+    }
+
+    /// Record a wall-clock span stamped with its channel identity
+    /// `(peer, tag, seq)` — the send/receive ends of a message record
+    /// through this so [`causal`] can pair them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_channel(
+        &self,
+        cat: Category,
+        label: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        peer: u32,
+        tag: u64,
+        seq: u64,
+    ) {
+        if self.inner.is_some() {
+            self.push(Span::channel(
+                cat,
+                label,
+                thread_slot(),
+                start_ns,
+                end_ns,
+                peer,
+                tag,
+                seq,
+            ));
         }
     }
 

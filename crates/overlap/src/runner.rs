@@ -268,6 +268,56 @@ impl RunReport {
         obs::critical::critical_path_breakdown(&self.traces, axis)
     }
 
+    /// The run's causal message-flow graph: one edge per stamped send
+    /// matched to the receive-side span that consumed it. Requires
+    /// [`RunConfig::trace`]; empty otherwise.
+    pub fn causal_graph(&self) -> obs::causal::CausalGraph {
+        obs::causal::build(&self.traces)
+    }
+
+    /// Wait-blame attribution over the causal graph: for every blocked
+    /// window, the rank whose late send bounded it, with cascaded blame
+    /// chased upstream to its root cause. Requires [`RunConfig::trace`].
+    pub fn blame(&self) -> obs::causal::Blame {
+        obs::causal::blame(&self.causal_graph())
+    }
+
+    /// Straggler detection over the blame matrix: ranks whose outgoing
+    /// blame is a robust outlier. Requires [`RunConfig::trace`].
+    ///
+    /// The detector is anchored to the run's compute scale: no rank is
+    /// flagged unless its outgoing blame exceeds twice the smallest
+    /// per-rank compute-busy time. Clean-run blame is bounded by
+    /// per-step imbalance (a fraction of one rank's compute), while a
+    /// throttled rank owes a multiple of its whole compute budget, so
+    /// the floor separates them regardless of grid size or host speed.
+    pub fn stragglers(&self) -> obs::causal::StragglerVerdict {
+        obs::causal::detect_stragglers_with(&self.blame(), self.straggler_floor_ns())
+    }
+
+    /// The compute-scale anchor fed to the straggler detector: twice the
+    /// smallest per-rank compute-busy time, in nanoseconds. Repeated-run
+    /// detectors (e.g. `chaos::straggler`) median this across runs
+    /// alongside the blame matrices.
+    pub fn straggler_floor_ns(&self) -> f64 {
+        let min_compute_s = self
+            .traces
+            .iter()
+            .map(|t| {
+                obs::metrics::union_seconds(&obs::metrics::busy_intervals(
+                    &t.spans,
+                    obs::Resource::Compute,
+                    obs::Axis::Wall,
+                ))
+            })
+            .fold(f64::INFINITY, f64::min);
+        if min_compute_s.is_finite() {
+            2.0 * min_compute_s * 1e9
+        } else {
+            0.0
+        }
+    }
+
     /// Total messages held in limbo by jitter/reorder decisions.
     pub fn total_delayed(&self) -> u64 {
         self.fault.iter().map(|f| f.delayed).sum()

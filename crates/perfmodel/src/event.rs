@@ -38,6 +38,9 @@ pub struct OpId(usize);
 struct Op {
     dur: f64,
     res: Res,
+    /// Phase tag (`"mpi"`, `"interior"`, …) for timeline export; `""`
+    /// for untagged ops.
+    tag: &'static str,
     deps: Vec<OpId>,
     start: f64,
     end: f64,
@@ -60,6 +63,12 @@ impl Schedule {
     /// in submission order (list scheduling): start = max(resource free,
     /// dependencies' end).
     pub fn add(&mut self, res: Res, dur: f64, deps: &[OpId]) -> OpId {
+        self.add_tagged(res, "", dur, deps)
+    }
+
+    /// Like [`Schedule::add`], carrying a phase tag the timeline export
+    /// ([`Schedule::ops`]) preserves.
+    pub fn add_tagged(&mut self, res: Res, tag: &'static str, dur: f64, deps: &[OpId]) -> OpId {
         assert!(dur >= 0.0, "durations must be non-negative");
         let dep_end = deps
             .iter()
@@ -78,11 +87,22 @@ impl Schedule {
         self.ops.push(Op {
             dur,
             res,
+            tag,
             deps: deps.to_vec(),
             start,
             end,
         });
         OpId(self.ops.len() - 1)
+    }
+
+    /// The scheduled timeline: `(resource, tag, start, end)` per op, in
+    /// submission order. This is the export the model-vs-measured
+    /// divergence report aligns against real traces.
+    pub fn ops(&self) -> Vec<(Res, &'static str, f64, f64)> {
+        self.ops
+            .iter()
+            .map(|o| (o.res, o.tag, o.start, o.end))
+            .collect()
     }
 
     /// Convenience: a chain of dependent operations on one resource.
@@ -205,6 +225,20 @@ mod tests {
         let n = overlapped.add(Res::Nic, durs[1], &[d]);
         overlapped.add(Res::CopyH2D, durs[2], &[n]);
         assert_eq!(overlapped.makespan(), 15.0);
+    }
+
+    #[test]
+    fn tagged_ops_export_the_timeline() {
+        let mut s = Schedule::new();
+        let a = s.add_tagged(Res::Nic, "mpi", 3.0, &[]);
+        s.add_tagged(Res::Cpu, "wall", 2.0, &[a]);
+        let ops = s.ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0], (Res::Nic, "mpi", 0.0, 3.0));
+        assert_eq!(ops[1], (Res::Cpu, "wall", 3.0, 5.0));
+        // Untagged adds carry the empty tag.
+        s.add(Res::Cpu, 1.0, &[]);
+        assert_eq!(s.ops()[2].1, "");
     }
 
     #[test]

@@ -275,109 +275,196 @@ impl<'a> GpuScenario<'a> {
         timing::stencil_kernel_time(self.spec(), &launch)
     }
 
-    /// Step time of IV-F (bulk-synchronous, everything chained).
-    pub fn step_bulk_sync(&self) -> f64 {
+    /// The IV-F schedule (bulk-synchronous, everything chained).
+    pub fn build_bulk_sync(&self) -> Schedule {
         let geo = self.geometry(0);
         let mut s = Schedule::new();
         for _task in 0..self.tasks_per_node() {
             self.context_switch(&mut s);
-            let pack = s.add(Res::GpuCompute, self.pack_dur(geo.ring_pts), &[]);
-            let d2h = s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, false), &[pack]);
-            let stage1 = s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
-            let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[stage1]);
-            let stage2 = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
-            let h2d = s.add(
+            let pack = s.add_tagged(Res::GpuCompute, "pack", self.pack_dur(geo.ring_pts), &[]);
+            let d2h = s.add_tagged(
+                Res::CopyD2H,
+                "d2h",
+                self.pcie_dur(geo.ring_pts, false),
+                &[pack],
+            );
+            let stage1 = s.add_tagged(Res::None, "stage", self.staging_dur(geo.ring_pts), &[d2h]);
+            let mpi = s.add_tagged(Res::Nic, "mpi", self.mpi_total(&geo), &[stage1]);
+            let stage2 = s.add_tagged(
+                Res::None,
+                "stage",
+                self.staging_dur(geo.halo_ring_pts),
+                &[mpi],
+            );
+            let h2d = s.add_tagged(
                 Res::CopyH2D,
+                "h2d",
                 self.pcie_dur(geo.halo_ring_pts, false),
                 &[stage2],
             );
-            let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
-            let faces = s.add(
+            let unpack = s.add_tagged(
                 Res::GpuCompute,
+                "unpack",
+                self.pack_dur(geo.halo_ring_pts),
+                &[h2d],
+            );
+            let faces = s.add_tagged(
+                Res::GpuCompute,
+                "faces",
                 self.face_kernels_dur(&geo, false),
                 &[unpack],
             );
-            s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[faces]);
+            s.add_tagged(
+                Res::GpuCompute,
+                "interior",
+                self.interior_kernel_dur(&geo),
+                &[faces],
+            );
         }
-        s.makespan() + params::GPU_STEP_FIXED_S
+        s
+    }
+
+    /// Step time of IV-F (bulk-synchronous, everything chained).
+    pub fn step_bulk_sync(&self) -> f64 {
+        self.build_bulk_sync().makespan() + params::GPU_STEP_FIXED_S
     }
 
     /// Context-switch cost on the GPU engine when several MPI tasks share
     /// the device (pre-MPS process serialization).
     fn context_switch(&self, s: &mut Schedule) {
         if self.tasks_per_node() > 1 {
-            s.add(Res::GpuCompute, params::GPU_CONTEXT_SWITCH_S, &[]);
+            s.add_tagged(Res::GpuCompute, "ctx", params::GPU_CONTEXT_SWITCH_S, &[]);
         }
     }
 
-    /// Step time of IV-G (interior kernel beside the halo chain; the
+    /// The IV-G schedule (interior kernel beside the halo chain; the
     /// outgoing boundary was downloaded at the end of the previous step).
-    pub fn step_streams(&self) -> f64 {
+    pub fn build_streams(&self) -> Schedule {
         let geo = self.geometry(0);
         let mut s = Schedule::new();
         for _task in 0..self.tasks_per_node() {
             self.context_switch(&mut s);
-            let interior = s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[]);
+            let interior = s.add_tagged(
+                Res::GpuCompute,
+                "interior",
+                self.interior_kernel_dur(&geo),
+                &[],
+            );
             // MPI first: it uses last step's boundary buffers.
-            let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[]);
-            let stage = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
-            let h2d = s.add(
+            let mpi = s.add_tagged(Res::Nic, "mpi", self.mpi_total(&geo), &[]);
+            let stage = s.add_tagged(
+                Res::None,
+                "stage",
+                self.staging_dur(geo.halo_ring_pts),
+                &[mpi],
+            );
+            let h2d = s.add_tagged(
                 Res::CopyH2D,
+                "h2d",
                 self.pcie_dur(geo.halo_ring_pts, false),
                 &[stage],
             );
-            let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
-            let faces = s.add(
+            let unpack = s.add_tagged(
                 Res::GpuCompute,
+                "unpack",
+                self.pack_dur(geo.halo_ring_pts),
+                &[h2d],
+            );
+            let faces = s.add_tagged(
+                Res::GpuCompute,
+                "faces",
                 self.face_kernels_dur(&geo, false),
                 &[unpack],
             );
             // Outgoing boundary for the next step: pack + D2H at the end.
-            let pack = s.add(
+            let pack = s.add_tagged(
                 Res::GpuCompute,
+                "pack",
                 self.pack_dur(geo.ring_pts),
                 &[faces, interior],
             );
-            let d2h = s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, false), &[pack]);
-            s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
+            let d2h = s.add_tagged(
+                Res::CopyD2H,
+                "d2h",
+                self.pcie_dur(geo.ring_pts, false),
+                &[pack],
+            );
+            s.add_tagged(Res::None, "stage", self.staging_dur(geo.ring_pts), &[d2h]);
         }
-        s.makespan() + params::GPU_STEP_FIXED_S
+        s
     }
 
-    /// Step time of IV-H (hybrid, bulk-synchronous communication).
-    pub fn step_hybrid_bulk_sync(&self) -> f64 {
+    /// Step time of IV-G.
+    pub fn step_streams(&self) -> f64 {
+        self.build_streams().makespan() + params::GPU_STEP_FIXED_S
+    }
+
+    /// The IV-H schedule (hybrid, bulk-synchronous communication).
+    pub fn build_hybrid_bulk_sync(&self) -> Schedule {
         let geo = self.geometry(self.thickness);
         let mut s = Schedule::new();
         for _task in 0..self.tasks_per_node() {
             self.context_switch(&mut s);
-            let pack = s.add(Res::GpuCompute, self.pack_dur(geo.ring_pts), &[]);
-            let d2h = s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, false), &[pack]);
-            let stage1 = s.add(Res::None, self.staging_dur(geo.ring_pts), &[d2h]);
-            let mpi = s.add(Res::Nic, self.mpi_total(&geo), &[stage1]);
-            let stage2 = s.add(Res::None, self.staging_dur(geo.halo_ring_pts), &[mpi]);
-            let h2d = s.add(
+            let pack = s.add_tagged(Res::GpuCompute, "pack", self.pack_dur(geo.ring_pts), &[]);
+            let d2h = s.add_tagged(
+                Res::CopyD2H,
+                "d2h",
+                self.pcie_dur(geo.ring_pts, false),
+                &[pack],
+            );
+            let stage1 = s.add_tagged(Res::None, "stage", self.staging_dur(geo.ring_pts), &[d2h]);
+            let mpi = s.add_tagged(Res::Nic, "mpi", self.mpi_total(&geo), &[stage1]);
+            let stage2 = s.add_tagged(
+                Res::None,
+                "stage",
+                self.staging_dur(geo.halo_ring_pts),
+                &[mpi],
+            );
+            let h2d = s.add_tagged(
                 Res::CopyH2D,
+                "h2d",
                 self.pcie_dur(geo.halo_ring_pts, false),
                 &[stage2],
             );
-            let unpack = s.add(Res::GpuCompute, self.pack_dur(geo.halo_ring_pts), &[h2d]);
+            let unpack = s.add_tagged(
+                Res::GpuCompute,
+                "unpack",
+                self.pack_dur(geo.halo_ring_pts),
+                &[h2d],
+            );
             // GPU kernels and CPU walls proceed in parallel after the
             // exchange.
-            let faces = s.add(
+            let faces = s.add_tagged(
                 Res::GpuCompute,
+                "faces",
                 self.face_kernels_dur(&geo, false),
                 &[unpack],
             );
-            s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[faces]);
+            s.add_tagged(
+                Res::GpuCompute,
+                "interior",
+                self.interior_kernel_dur(&geo),
+                &[faces],
+            );
             if geo.wall_pts > 0.0 {
-                s.add(Res::None, geo.wall_pts / self.cpu_wall_rate(), &[mpi]);
+                s.add_tagged(
+                    Res::None,
+                    "wall",
+                    geo.wall_pts / self.cpu_wall_rate(),
+                    &[mpi],
+                );
             }
         }
-        s.makespan() + params::GPU_STEP_FIXED_S
+        s
     }
 
-    /// Step time of IV-I (full overlap). Requires thickness ≥ 1.
-    pub fn step_hybrid_overlap(&self) -> f64 {
+    /// Step time of IV-H.
+    pub fn step_hybrid_bulk_sync(&self) -> f64 {
+        self.build_hybrid_bulk_sync().makespan() + params::GPU_STEP_FIXED_S
+    }
+
+    /// The IV-I schedule (full overlap). Requires thickness ≥ 1.
+    pub fn build_hybrid_overlap(&self) -> Schedule {
         assert!(self.thickness >= 1, "IV-I needs a CPU veneer");
         let geo = self.geometry(self.thickness);
         let concurrent = self.spec().concurrent_kernels;
@@ -386,20 +473,41 @@ impl<'a> GpuScenario<'a> {
             // GPU side: interior on the compute engine; halo ring H2D
             // (async, page-locked), boundary kernels, ring D2H beside it.
             self.context_switch(&mut s);
-            let interior = s.add(Res::GpuCompute, self.interior_kernel_dur(&geo), &[]);
-            let h2d = s.add(Res::CopyH2D, self.pcie_dur(geo.halo_ring_pts, true), &[]);
+            let interior = s.add_tagged(
+                Res::GpuCompute,
+                "interior",
+                self.interior_kernel_dur(&geo),
+                &[],
+            );
+            let h2d = s.add_tagged(
+                Res::CopyH2D,
+                "h2d",
+                self.pcie_dur(geo.halo_ring_pts, true),
+                &[],
+            );
             let faces = if concurrent {
                 // Fermi co-schedules the small boundary kernels beside the
                 // interior kernel (at a throughput penalty).
-                s.add(Res::None, self.face_kernels_dur(&geo, true), &[h2d])
+                s.add_tagged(
+                    Res::None,
+                    "faces",
+                    self.face_kernels_dur(&geo, true),
+                    &[h2d],
+                )
             } else {
-                s.add(
+                s.add_tagged(
                     Res::GpuCompute,
+                    "faces",
                     self.face_kernels_dur(&geo, false),
                     &[h2d, interior],
                 )
             };
-            s.add(Res::CopyD2H, self.pcie_dur(geo.ring_pts, true), &[faces]);
+            s.add_tagged(
+                Res::CopyD2H,
+                "d2h",
+                self.pcie_dur(geo.ring_pts, true),
+                &[faces],
+            );
             // CPU side: each dimension's phase overlaps that dimension's
             // inner wall points. A phase's sends need the previous phase's
             // halo; the task's thread team computes one wall chunk at a
@@ -409,10 +517,11 @@ impl<'a> GpuScenario<'a> {
             let mut prev_wall: Option<crate::event::OpId> = None;
             for d in 0..3 {
                 let phase_deps: Vec<_> = prev_phase.into_iter().collect();
-                let phase = s.add(Res::Nic, self.phase_net(&geo, d), &phase_deps);
+                let phase = s.add_tagged(Res::Nic, "mpi", self.phase_net(&geo, d), &phase_deps);
                 let wall_deps: Vec<_> = prev_wall.into_iter().chain(prev_phase).collect();
-                let wall = s.add(
+                let wall = s.add_tagged(
                     Res::None,
+                    "wall",
                     geo.inner_wall_pts / 3.0 / self.cpu_wall_rate(),
                     &wall_deps,
                 );
@@ -422,10 +531,31 @@ impl<'a> GpuScenario<'a> {
             let outer = (geo.wall_pts - geo.inner_wall_pts).max(0.0);
             if outer > 0.0 {
                 let deps: Vec<_> = prev_phase.into_iter().chain(prev_wall).collect();
-                s.add(Res::None, outer / self.cpu_wall_rate(), &deps);
+                s.add_tagged(Res::None, "wall", outer / self.cpu_wall_rate(), &deps);
             }
         }
-        s.makespan() + params::GPU_STEP_FIXED_S
+        s
+    }
+
+    /// Step time of IV-I.
+    pub fn step_hybrid_overlap(&self) -> f64 {
+        self.build_hybrid_overlap().makespan() + params::GPU_STEP_FIXED_S
+    }
+
+    /// The per-step schedule of the given implementation (IV-E is a
+    /// single resident kernel, modeled as one tagged op).
+    pub fn schedule(&self, im: GpuImpl) -> Schedule {
+        match im {
+            GpuImpl::Resident => {
+                let mut s = Schedule::new();
+                s.add_tagged(Res::GpuCompute, "interior", self.step_resident(), &[]);
+                s
+            }
+            GpuImpl::BulkSync => self.build_bulk_sync(),
+            GpuImpl::Streams => self.build_streams(),
+            GpuImpl::HybridBulkSync => self.build_hybrid_bulk_sync(),
+            GpuImpl::HybridOverlap => self.build_hybrid_overlap(),
+        }
     }
 
     /// Step time of the given implementation.

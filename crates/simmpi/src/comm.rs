@@ -289,7 +289,7 @@ impl Comm {
     /// re-arms with exponential backoff (capped at 8× the base timeout).
     /// Redeliveries observed during the wait record a `fault.redeliver`
     /// instant. With no timeout configured this is a plain blocking take.
-    fn take_with_faults(&self, src: usize, tag: Tag) -> Vec<f64> {
+    fn take_with_faults(&self, src: usize, tag: Tag) -> (u64, Vec<f64>) {
         let mailbox = &self.inner.mailboxes[self.rank];
         let timeout_ns = self.inner.plan.wait_timeout_ns;
         if timeout_ns == 0 {
@@ -301,11 +301,11 @@ impl Comm {
         let cap = ns_to_duration(timeout_ns.saturating_mul(8));
         let mut retries = 0u64;
         let stall_start = Instant::now();
-        let data = loop {
+        let taken = loop {
             let attempt_ns = tracer.now_ns();
             let attempt_t0 = self.metrics.get().map(|_| Instant::now());
             match mailbox.take_matching_timeout(src, tag, timeout) {
-                Some(data) => break data,
+                Some(taken) => break taken,
                 None => {
                     retries += 1;
                     tracer.record_wall(
@@ -333,7 +333,7 @@ impl Comm {
         let mut f = self.fault.lock();
         f.retries += retries;
         f.max_stall_ns = f.max_stall_ns.max(stalled_ns);
-        data
+        taken
     }
 
     fn check_rank(&self, rank: usize, what: &str) {
@@ -368,9 +368,15 @@ impl Comm {
 
     /// Blocking buffered send: the payload is moved into the destination
     /// mailbox and the call returns (like `MPI_Bsend`).
+    ///
+    /// When this rank traces, the message is assigned a per-channel
+    /// causal sequence number at delivery and the `mpi.send` span is
+    /// stamped `(dest, tag, seq)` — the other half of the stamp appears
+    /// on the matching receive, letting `obs::causal` pair the two ends.
     pub fn send(&self, dest: usize, tag: Tag, data: Vec<f64>) {
         self.check_rank(dest, "destination");
-        let _span = self.tracer().span(Category::MpiSend, "send");
+        let tracer = self.tracer();
+        let start_ns = tracer.now_ns();
         {
             let mut s = self.stats.lock();
             s.messages_sent += 1;
@@ -380,11 +386,23 @@ impl Comm {
             m.messages_sent.inc();
             m.values_sent.add(data.len() as u64);
         }
-        self.inner.mailboxes[dest].deliver(Message {
-            src: self.rank,
+        let seq = self.inner.mailboxes[dest].deliver(
+            Message {
+                src: self.rank,
+                tag,
+                data,
+            },
+            tracer.is_on(),
+        );
+        tracer.record_channel(
+            Category::MpiSend,
+            "send",
+            start_ns,
+            tracer.now_ns(),
+            dest as u32,
             tag,
-            data,
-        });
+            seq,
+        );
     }
 
     /// Send a pool-leased buffer: the buffer travels to the destination
@@ -412,9 +430,17 @@ impl Comm {
         }
         let start_ns = tracer.now_ns();
         let t0 = Instant::now();
-        let data = self.take_with_faults(src, tag);
+        let (seq, data) = self.take_with_faults(src, tag);
         let waited = t0.elapsed().as_nanos() as u64;
-        tracer.record_wall(Category::MpiRecv, "recv", start_ns, tracer.now_ns());
+        tracer.record_channel(
+            Category::MpiRecv,
+            "recv",
+            start_ns,
+            tracer.now_ns(),
+            src as u32,
+            tag,
+            seq,
+        );
         if let Some(m) = self.metrics.get() {
             m.wait[src].observe(waited);
             m.recv_latency[src].observe(waited);
@@ -524,11 +550,28 @@ impl RecvRequest<'_> {
         }
         let wait_start_ns = tracer.now_ns();
         let t0 = Instant::now();
-        let data = self.comm.take_with_faults(self.src, self.tag);
+        let (seq, data) = self.comm.take_with_faults(self.src, self.tag);
         let waited = t0.elapsed().as_nanos() as u64;
         let end_ns = tracer.now_ns();
-        tracer.record_wall(Category::MpiWait, "wait", wait_start_ns, end_ns);
-        tracer.record_wall(Category::MpiRecv, "inflight", self.posted_ns, end_ns);
+        let src = self.src as u32;
+        tracer.record_channel(
+            Category::MpiWait,
+            "wait",
+            wait_start_ns,
+            end_ns,
+            src,
+            self.tag,
+            seq,
+        );
+        tracer.record_channel(
+            Category::MpiRecv,
+            "inflight",
+            self.posted_ns,
+            end_ns,
+            src,
+            self.tag,
+            seq,
+        );
         if let Some(m) = self.comm.metrics.get() {
             m.wait[self.src].observe(waited);
             let latency = self

@@ -66,6 +66,7 @@ mod world;
 
 pub use comm::{Comm, CommStats, RecvRequest, SendRequest, Tag};
 pub use fault::{fault_states_allocated, splitmix64, FaultPlan, FaultStats};
+pub use mailbox::causal_states_allocated;
 pub use pool::PooledBuf;
 pub use world::World;
 

@@ -20,7 +20,27 @@
 use crate::fault::{note_fault_state_allocated, ns_to_duration, Delivery, FaultPlan};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Causal sequence states allocated process-wide since start (one per
+/// mailbox that ever delivered a stamped message). Untraced runs must
+/// leave this flat — the same zero-cost-off contract as
+/// [`crate::fault_states_allocated`] and `obs::trace_buffers_allocated`.
+static CAUSAL_STATES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of per-mailbox causal sequence states ever allocated.
+pub fn causal_states_allocated() -> u64 {
+    CAUSAL_STATES_ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// Per-channel send-sequence counters for causal message stamping.
+/// Allocated lazily on the first *stamped* delivery (i.e. only when the
+/// sender traces), so untraced worlds never pay for it.
+#[derive(Default)]
+struct CausalSeq {
+    next: HashMap<(usize, u64), u64>,
+}
 
 /// A message in flight.
 #[derive(Debug)]
@@ -34,6 +54,7 @@ pub(crate) struct Message {
 struct Held {
     src: usize,
     tag: u64,
+    seq: u64,
     data: Vec<f64>,
     release_at: Instant,
 }
@@ -55,10 +76,18 @@ struct Limbo {
     redelivered: u64,
 }
 
+/// Queued payloads keyed by `(source, tag)`; each entry carries the
+/// causal sequence number assigned at delivery (`obs::NO_SEQ` for
+/// unstamped messages), riding with the payload through limbo so the
+/// matching receive can stamp its span.
+type ChannelQueues = HashMap<(usize, u64), VecDeque<(u64, Vec<f64>)>>;
+
 #[derive(Default)]
 struct Channels {
     /// One FIFO per `(source, tag)` channel.
-    queues: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+    queues: ChannelQueues,
+    /// Per-channel causal counters; `None` until a stamped delivery.
+    causal: Option<Box<CausalSeq>>,
     /// Messages queued across all channels (including limbo).
     total: usize,
     /// Payload bytes currently queued across all channels (incl. limbo).
@@ -85,7 +114,10 @@ fn flush_due(c: &mut Channels) -> Option<Instant> {
     while i < f.held.len() {
         if f.held[i].release_at <= now {
             let h = f.held.remove(i).expect("index in range");
-            queues.entry((h.src, h.tag)).or_default().push_back(h.data);
+            queues
+                .entry((h.src, h.tag))
+                .or_default()
+                .push_back((h.seq, h.data));
         } else {
             let at = f.held[i].release_at;
             earliest = Some(earliest.map_or(at, |e| e.min(at)));
@@ -130,16 +162,35 @@ impl Mailbox {
     /// Deposit a message and wake any waiting receiver. Under a fault
     /// plan the message may instead enter limbo until its release
     /// deadline.
-    pub fn deliver(&self, msg: Message) {
+    ///
+    /// When `stamp` is set (the sender traces), the message is assigned
+    /// the next causal sequence number of its `(src, tag)` channel and
+    /// that number is returned so the sender can stamp its `mpi.send`
+    /// span; the same number rides with the payload into the matching
+    /// receive. Unstamped deliveries return `obs::NO_SEQ` and touch no
+    /// causal state.
+    pub fn deliver(&self, msg: Message, stamp: bool) -> u64 {
         let Message { src, tag, data } = msg;
         let mut c = self.channels.lock();
         c.total += 1;
         c.bytes += data.len() * std::mem::size_of::<f64>();
         c.peak_bytes = c.peak_bytes.max(c.bytes);
+        let seq = if stamp {
+            let causal = c.causal.get_or_insert_with(|| {
+                CAUSAL_STATES_ALLOCATED.fetch_add(1, Ordering::Relaxed);
+                Box::default()
+            });
+            let next = causal.next.entry((src, tag)).or_insert(0);
+            let s = *next;
+            *next += 1;
+            s
+        } else {
+            obs::NO_SEQ
+        };
         if let Some(f) = c.fault.as_deref_mut() {
-            let seq = f.seq.entry((src, tag)).or_insert(0);
-            let s = *seq;
-            *seq += 1;
+            let fault_seq = f.seq.entry((src, tag)).or_insert(0);
+            let s = *fault_seq;
+            *fault_seq += 1;
             // Non-overtaking floor: a message must queue behind any held
             // predecessor of its own channel.
             let channel_floor = f
@@ -169,6 +220,7 @@ impl Mailbox {
                 f.held.push_back(Held {
                     src,
                     tag,
+                    seq,
                     data,
                     release_at,
                 });
@@ -176,29 +228,34 @@ impl Mailbox {
                 // Waiters are woken for held messages too: the hold
                 // changes the earliest deadline their timed waits use.
                 self.arrived.notify_all();
-                return;
+                return seq;
             }
         }
-        c.queues.entry((src, tag)).or_default().push_back(data);
+        c.queues
+            .entry((src, tag))
+            .or_default()
+            .push_back((seq, data));
         drop(c);
         self.arrived.notify_all();
+        seq
     }
 
-    fn try_pop(c: &mut Channels, src: usize, tag: u64) -> Option<Vec<f64>> {
-        let data = c.queues.get_mut(&(src, tag)).and_then(|q| q.pop_front())?;
+    fn try_pop(c: &mut Channels, src: usize, tag: u64) -> Option<(u64, Vec<f64>)> {
+        let (seq, data) = c.queues.get_mut(&(src, tag)).and_then(|q| q.pop_front())?;
         c.total -= 1;
         c.bytes -= data.len() * std::mem::size_of::<f64>();
-        Some(data)
+        Some((seq, data))
     }
 
     /// Block until a message matching `(src, tag)` is available and remove
-    /// it. Same-channel messages are taken in arrival order.
-    pub fn take_matching(&self, src: usize, tag: u64) -> Vec<f64> {
+    /// it, returning `(causal seq, payload)`. Same-channel messages are
+    /// taken in arrival order.
+    pub fn take_matching(&self, src: usize, tag: u64) -> (u64, Vec<f64>) {
         let mut c = self.channels.lock();
         loop {
             let next_due = flush_due(&mut c);
-            if let Some(data) = Self::try_pop(&mut c, src, tag) {
-                return data;
+            if let Some(taken) = Self::try_pop(&mut c, src, tag) {
+                return taken;
             }
             match next_due {
                 Some(at) => {
@@ -219,13 +276,13 @@ impl Mailbox {
         src: usize,
         tag: u64,
         timeout: Duration,
-    ) -> Option<Vec<f64>> {
+    ) -> Option<(u64, Vec<f64>)> {
         let deadline = Instant::now() + timeout;
         let mut c = self.channels.lock();
         loop {
             let next_due = flush_due(&mut c);
-            if let Some(data) = Self::try_pop(&mut c, src, tag) {
-                return Some(data);
+            if let Some(taken) = Self::try_pop(&mut c, src, tag) {
+                return Some(taken);
             }
             let now = Instant::now();
             if now >= deadline {
