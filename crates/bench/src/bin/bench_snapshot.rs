@@ -48,6 +48,12 @@
 //!   dominates every wait), and `model_rank_agreement`, the
 //!   model-vs-measured overlap ranking agreement over all nine
 //!   implementations (1.0 means no confident inversion);
+//! * run-server saturation: closed-loop requests/s and p99 latency at
+//!   1/2/4 concurrent tenants over a fixed in-process worker pool
+//!   (`serve_rps_t<n>`, `serve_p99_ms_t<n>`, advisory), plus
+//!   `serve_cache_hit_speedup` — cold execution latency over cached
+//!   response latency measured in the same run, the one enforced
+//!   server gate;
 //! * wall-clock seconds for the `figures --report` claim evaluation.
 //!
 //! Every timed section warms up untimed and reports a median-of-N, so a
@@ -190,6 +196,129 @@ fn timetile_grid(llc_bytes: usize) -> usize {
 /// Fraction of the committed value a fresh number may drop to before
 /// `--check` fails: 25% headroom for shared-runner noise.
 const CHECK_TOLERANCE: f64 = 0.75;
+
+/// Worker pool width for the run-server saturation sweep.
+const SERVE_WORKERS: usize = 2;
+/// Closed-loop requests each tenant issues during the sweep.
+const SERVE_REQUESTS: usize = 24;
+/// Tenant counts the saturation curve measures.
+const SERVE_TENANTS: [usize; 3] = [1, 2, 4];
+
+/// One tenant's request for the server sweep: half the sequence draws
+/// from three shared hot keys (cache/dedup traffic), half is unique via
+/// the fault seed (cold executions), mirroring `load_gen`'s mix.
+fn serve_request(tenant: usize, seq: usize) -> serve::protocol::Request {
+    let params = if seq.is_multiple_of(2) {
+        let shapes = [(10u32, 2u32, 2u32), (10, 2, 4), (12, 1, 2)];
+        let (grid, steps, tasks) = shapes[seq / 2 % shapes.len()];
+        overlap::RunParams {
+            impl_slug: "bulk_sync".into(),
+            grid,
+            steps,
+            tasks,
+            threads: 1,
+            ..overlap::RunParams::default()
+        }
+    } else {
+        overlap::RunParams {
+            impl_slug: "bulk_sync".into(),
+            grid: 8,
+            steps: 1,
+            tasks: 2,
+            threads: 1,
+            fault_seed: Some(1 + (tenant * 1000 + seq) as u64),
+            ..overlap::RunParams::default()
+        }
+    };
+    serve::protocol::Request {
+        tenant: format!("tenant-{tenant}"),
+        params,
+        timeout_ms: None,
+    }
+}
+
+/// Closed-loop sweep at `tenants` concurrent tenants against a fresh
+/// in-process server: returns `(requests_per_second, p99_ms)`.
+fn serve_sweep(tenants: usize) -> (f64, f64) {
+    let server = serve::server::Server::start(serve::server::ServerConfig {
+        workers: SERVE_WORKERS,
+        ..serve::server::ServerConfig::default()
+    });
+    let t0 = Instant::now();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(tenants * SERVE_REQUESTS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|t| {
+                let server = &server;
+                scope.spawn(move || {
+                    (0..SERVE_REQUESTS)
+                        .map(|i| {
+                            let req = serve_request(t, i);
+                            let r0 = Instant::now();
+                            server.run(&req).expect("sweep request succeeds");
+                            r0.elapsed().as_nanos() as u64
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies_ns.extend(h.join().expect("tenant thread"));
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies_ns.sort_unstable();
+    let p99 = latencies_ns[(latencies_ns.len() - 1) * 99 / 100] as f64 / 1e6;
+    (latencies_ns.len() as f64 / wall, p99)
+}
+
+/// Cache-hit speedup, both sides measured in the same run and epoch:
+/// the median latency of cold executions over the median latency of
+/// cached responses for an identical key.
+fn serve_cache_speedup() -> f64 {
+    let server = serve::server::Server::start(serve::server::ServerConfig {
+        workers: SERVE_WORKERS,
+        ..serve::server::ServerConfig::default()
+    });
+    let request = |seed: u64| serve::protocol::Request {
+        tenant: "bench".into(),
+        params: overlap::RunParams {
+            impl_slug: "bulk_sync".into(),
+            grid: 10,
+            steps: 2,
+            tasks: 2,
+            threads: 1,
+            fault_seed: Some(seed),
+            ..overlap::RunParams::default()
+        },
+        timeout_ms: None,
+    };
+    let median = |mut v: Vec<u64>| -> f64 {
+        v.sort_unstable();
+        v[v.len() / 2] as f64
+    };
+    let cold: Vec<u64> = (1..=9)
+        .map(|seed| {
+            let t0 = Instant::now();
+            let resp = server.run(&request(seed)).expect("cold run succeeds");
+            assert!(!resp.cached);
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    // Warm one more key, then time repeated hits on it.
+    server.run(&request(100)).expect("warm run succeeds");
+    let cached: Vec<u64> = (0..9)
+        .map(|_| {
+            let t0 = Instant::now();
+            let resp = server.run(&request(100)).expect("cached run succeeds");
+            assert!(resp.cached);
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    server.shutdown();
+    median(cold) / median(cached).max(1.0)
+}
 
 fn main() {
     let mut check = false;
@@ -381,6 +510,20 @@ fn main() {
     let model_rank_agreement =
         bench::divergence::divergence_report(&blame_runs).ranking_agreement();
 
+    // Run-server saturation: closed-loop load at 1/2/4 concurrent
+    // tenants over a fixed worker pool, plus the cache-hit speedup
+    // (cold execution over cached response, measured in the same run —
+    // the one enforced server gate; rps and p99 are advisory because
+    // the shared runner's scheduler owns most of their variance).
+    let serve_curve: Vec<(usize, f64, f64)> = SERVE_TENANTS
+        .iter()
+        .map(|&t| {
+            let (rps, p99) = serve_sweep(t);
+            (t, rps, p99)
+        })
+        .collect();
+    let cache_hit_speedup = serve_cache_speedup();
+
     let t0 = Instant::now();
     let claims = figures::report::evaluate_claims();
     let report = figures::report::render_markdown(&claims);
@@ -433,6 +576,15 @@ fn main() {
             ));
         }
     }
+    json.push_str(&format!("  \"serve_threads\": {SERVE_WORKERS},\n"));
+    for &(t, rps, p99) in &serve_curve {
+        json.push_str(&format!(
+            "  \"serve_rps_t{t}\": {rps:.1},\n  \"serve_p99_ms_t{t}\": {p99:.3},\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  \"serve_cache_hit_speedup\": {cache_hit_speedup:.1},\n"
+    ));
     json.push_str(&format!(
         "  \"exchange_grid\": {EXCHANGE_N},\n  \"exchange_tasks\": {EXCHANGE_TASKS},\n  \
          \"exchange_threads\": 1,\n  \
@@ -485,6 +637,11 @@ fn main() {
                 ));
             }
         }
+        for &(t, rps, p99) in &serve_curve {
+            gates.push((format!("serve_rps_t{t}"), rps));
+            gates.push((format!("serve_p99_ms_t{t}"), p99));
+        }
+        gates.push(("serve_cache_hit_speedup".to_string(), cache_hit_speedup));
         let gate_refs: Vec<(&str, f64)> = gates.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         let outcome = history.check(&gate_refs, CHECK_TOLERANCE);
         match &outcome.baseline {
@@ -505,7 +662,11 @@ fn main() {
                 if g.ok {
                     "ok"
                 } else if g.warn {
-                    "WARN (advisory: cross-epoch ratio; zero-alloc tests enforce the off path)"
+                    if g.key.starts_with("serve_") {
+                        "WARN (advisory: scheduler-sensitive service metric)"
+                    } else {
+                        "WARN (advisory: cross-epoch ratio; zero-alloc tests enforce the off path)"
+                    }
                 } else {
                     "REGRESSION"
                 }

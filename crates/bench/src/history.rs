@@ -35,13 +35,20 @@ const CONFIG_KEYS: &[&str] = &[
     "timetile_llc_mib",
 ];
 
+/// Whether a key is a latency in milliseconds (`serve_p99_ms`,
+/// `serve_p99_ms_t4`): lower is better, and [`History::check`] gates it
+/// with the tolerance inverted.
+fn is_latency_ms(key: &str) -> bool {
+    key.ends_with("_ms") || key.contains("_ms_t")
+}
+
 /// Classify a snapshot key by naming convention.
 pub fn direction(key: &str) -> Direction {
     if CONFIG_KEYS.contains(&key) || key.ends_with("_threads") || key.ends_with("_grid") {
         Direction::Config
     } else if key.ends_with("_ratio") {
         Direction::NearOne
-    } else if key.ends_with("_seconds") {
+    } else if key.ends_with("_seconds") || is_latency_ms(key) {
         Direction::LowerIsBetter
     } else if key.ends_with("_share") {
         // Concentration shares (e.g. the largest rank's slice of total
@@ -264,13 +271,26 @@ impl History {
                 continue;
             }
             let ratio = value / committed;
+            // Latency keys invert: the gate trips when fresh grows past
+            // 1/tolerance of committed. Both latency and request-rate
+            // keys are advisory — they measure the shared runner's
+            // scheduler as much as the code (the enforced server signal
+            // is `serve_cache_hit_speedup`, a same-run ratio).
+            let (ok, warn) = if is_latency_ms(key) {
+                (ratio <= 1.0 / tolerance, true)
+            } else {
+                (
+                    ratio >= tolerance,
+                    key.ends_with("_per_sec") || key.ends_with("_rps") || key.contains("_rps_t"),
+                )
+            };
             outcome.gates.push(Gate {
                 key: key.to_string(),
                 fresh: value,
                 committed,
                 ratio,
-                ok: ratio >= tolerance,
-                warn: key.ends_with("_per_sec"),
+                ok,
+                warn,
             });
         }
         outcome
@@ -496,6 +516,51 @@ impl History {
                 out.push('\n');
             }
         }
+        // Service saturation from the latest snapshot that carries the
+        // run-server section (absent on snapshots predating it): the
+        // load generator's closed-loop sweep over concurrent tenants,
+        // plus the cache-hit speedup (cold execution over cached
+        // response, same run — the one enforced server gate).
+        if let Some(s) = self
+            .snapshots
+            .iter()
+            .rev()
+            .find(|s| s.values.keys().any(|k| k.starts_with("serve_rps_t")))
+        {
+            let mut tenants: Vec<u64> = s
+                .values
+                .keys()
+                .filter_map(|k| k.strip_prefix("serve_rps_t")?.parse().ok())
+                .collect();
+            tenants.sort_unstable();
+            out.push_str(&format!(
+                "\n### Service saturation (snapshot {})\n\n\
+                 Closed-loop load generation against the in-process run \
+                 server, sweeping concurrent tenants",
+                s.index
+            ));
+            match s.get("serve_threads") {
+                Some(w) => out.push_str(&format!(" over {} worker(s).\n\n", w as u64)),
+                None => out.push_str(".\n\n"),
+            }
+            out.push_str("| tenants | requests/s | p99 ms |\n|---|---|---|\n");
+            for t in &tenants {
+                let cell = |k: String| match s.get(&k) {
+                    Some(v) => format!("{v:.1}"),
+                    None => "—".to_string(),
+                };
+                out.push_str(&format!(
+                    "| {t} | {} | {} |\n",
+                    cell(format!("serve_rps_t{t}")),
+                    cell(format!("serve_p99_ms_t{t}")),
+                ));
+            }
+            if let Some(v) = s.get("serve_cache_hit_speedup") {
+                out.push_str(&format!(
+                    "\nCache-hit speedup (cold / cached, same run): **{v:.1}×**\n"
+                ));
+            }
+        }
         out
     }
 
@@ -702,6 +767,78 @@ mod tests {
         assert_eq!(direction("causal_off_overhead_ratio"), Direction::NearOne);
         assert_eq!(direction("blame_max_rank_share"), Direction::LowerIsBetter);
         assert_eq!(direction("model_rank_agreement"), Direction::HigherIsBetter);
+        assert_eq!(direction("serve_threads"), Direction::Config);
+        assert_eq!(direction("serve_rps_t4"), Direction::HigherIsBetter);
+        assert_eq!(direction("serve_p99_ms_t4"), Direction::LowerIsBetter);
+        assert_eq!(direction("serve_p99_ms"), Direction::LowerIsBetter);
+        assert_eq!(
+            direction("serve_cache_hit_speedup"),
+            Direction::HigherIsBetter
+        );
+    }
+
+    #[test]
+    fn latency_gates_invert_and_rps_gates_warn() {
+        let h = History {
+            snapshots: vec![snap(
+                9,
+                &[
+                    ("serve_p99_ms_t4", 10.0),
+                    ("serve_rps_t4", 1000.0),
+                    ("serve_cache_hit_speedup", 50.0),
+                ],
+            )],
+        };
+        // Latency improving (dropping) passes even though the raw ratio
+        // 0.5 is far below the 0.75 tolerance...
+        let faster = h.check(&[("serve_p99_ms_t4", 5.0)], 0.75);
+        assert!(faster.passed(), "{faster:?}");
+        assert_eq!(faster.warnings(), 0);
+        // ...and regressing past 1/tolerance warns without failing (the
+        // runner's scheduler owns most of the variance).
+        let slower = h.check(&[("serve_p99_ms_t4", 20.0)], 0.75);
+        assert!(slower.passed(), "advisory latency gate must not fail");
+        assert_eq!(slower.warnings(), 1);
+        // Request rate collapses warn like `_per_sec` keys...
+        let slow_rps = h.check(&[("serve_rps_t4", 100.0)], 0.75);
+        assert!(slow_rps.passed(), "{slow_rps:?}");
+        assert_eq!(slow_rps.warnings(), 1);
+        // ...while the same-run cache-hit speedup stays enforced.
+        let broken_cache = h.check(&[("serve_cache_hit_speedup", 2.0)], 0.75);
+        assert!(!broken_cache.passed());
+        assert_eq!(broken_cache.regressions(), 1);
+    }
+
+    #[test]
+    fn markdown_renders_the_saturation_table() {
+        let h = History {
+            snapshots: vec![snap(
+                9,
+                &[
+                    ("serve_threads", 2.0),
+                    ("serve_rps_t1", 800.0),
+                    ("serve_p99_ms_t1", 4.2),
+                    ("serve_rps_t4", 2100.0),
+                    ("serve_p99_ms_t4", 9.8),
+                    ("serve_cache_hit_speedup", 42.0),
+                ],
+            )],
+        };
+        let md = h.render_markdown();
+        assert!(md.contains("Service saturation (snapshot 9)"), "{md}");
+        assert!(md.contains("over 2 worker(s)"), "{md}");
+        assert!(md.contains("| 1 | 800.0 | 4.2 |"), "{md}");
+        assert!(md.contains("| 4 | 2100.0 | 9.8 |"), "{md}");
+        assert!(md.contains("**42.0×**"), "{md}");
+    }
+
+    #[test]
+    fn markdown_survives_snapshots_without_a_serve_section() {
+        let h = History {
+            snapshots: vec![snap(5, &[("stencil_fast_gf", 19.0)])],
+        };
+        let md = h.render_markdown();
+        assert!(!md.contains("Service saturation"), "{md}");
     }
 
     #[test]

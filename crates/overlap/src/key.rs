@@ -1,0 +1,513 @@
+//! Canonical run request keys.
+//!
+//! A simulation request — `(implementation × grid × steps × machine ×
+//! fault seed × trace/metrics flags)` plus the shape knobs each
+//! implementation actually reads — canonicalizes into a [`RunKey`]: the
+//! unit of request-keyed caching and in-flight deduplication in
+//! `crates/serve`. Two requests that would execute identically must
+//! produce the *same* key, so canonicalization zeroes every knob the
+//! chosen implementation ignores (a CPU implementation's GPU block
+//! shape, a single-task run's task count) instead of carrying the
+//! caller's incidental values into the cache key.
+//!
+//! Every run is a pure function of its key: the functional substrates
+//! are deterministic (fault schedules replay exactly from the seed), so
+//! the assembled state, the comm/GPU counters, and the device timeline
+//! depend only on the key. Wall-clock-derived artifacts (span
+//! timestamps, wait histograms) vary per execution, which is why cached
+//! responses are byte-identical only *because* the cache stores the
+//! rendered artifact of one execution.
+
+use crate::runner::{FaultSpec, RunConfig, RunReport};
+use crate::Impl;
+use advect_core::field::Field3;
+use advect_core::stepper::AdvectionProblem;
+use simgpu::GpuSpec;
+
+/// The machine axis of a request: which Table II host the run models.
+/// Only the GPU choice is observable in a functional run, so the
+/// machines canonicalize to the GPU they carry — and every CPU-only
+/// implementation canonicalizes to [`MachineKind::Cpu`] regardless of
+/// what the caller named.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MachineKind {
+    /// No GPU in play (any machine; CPU-only implementations).
+    Cpu,
+    /// Lens: Tesla C1060.
+    Lens,
+    /// Yona: Tesla C2050.
+    Yona,
+}
+
+impl MachineKind {
+    /// Parse a machine name as requests spell it. `"cpu"` (or an empty
+    /// string) means "no particular machine"; the Table II names map to
+    /// their GPUs. JaguarPF and Hopper II carry no GPU, so they are
+    /// only valid for CPU implementations and canonicalize to `Cpu`.
+    pub fn parse(name: &str) -> Result<(MachineKind, bool), String> {
+        match name.to_ascii_lowercase().as_str() {
+            "" | "cpu" | "none" => Ok((MachineKind::Cpu, false)),
+            "jaguarpf" => Ok((MachineKind::Cpu, true)),
+            "hopper_ii" | "hopper-ii" | "hopper" => Ok((MachineKind::Cpu, true)),
+            "lens" | "c1060" | "tesla_c1060" => Ok((MachineKind::Lens, false)),
+            "yona" | "c2050" | "tesla_c2050" => Ok((MachineKind::Yona, false)),
+            other => Err(format!(
+                "unknown machine {other:?}: expected cpu|jaguarpf|hopper_ii|lens|yona"
+            )),
+        }
+    }
+
+    /// Canonical name (the wire spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MachineKind::Cpu => "cpu",
+            MachineKind::Lens => "lens",
+            MachineKind::Yona => "yona",
+        }
+    }
+
+    /// The GPU this machine contributes to a run.
+    pub fn gpu_spec(&self) -> Option<GpuSpec> {
+        match self {
+            MachineKind::Cpu => None,
+            MachineKind::Lens => Some(GpuSpec::tesla_c1060()),
+            MachineKind::Yona => Some(GpuSpec::tesla_c2050()),
+        }
+    }
+}
+
+/// The raw shape of a run request, before canonicalization. All fields
+/// are the caller's literal values; [`RunParams::canonicalize`] turns
+/// them into a [`RunKey`] or explains why they cannot run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunParams {
+    /// Implementation slug (`bulk_sync`, `hybrid_overlap`, …).
+    pub impl_slug: String,
+    /// Cubic grid edge length.
+    pub grid: u32,
+    /// Time steps.
+    pub steps: u32,
+    /// MPI tasks.
+    pub tasks: u32,
+    /// Threads per task.
+    pub threads: u32,
+    /// GPU thread-block shape.
+    pub block: (u32, u32),
+    /// CPU box thickness for the hybrid implementations.
+    pub thickness: u32,
+    /// Machine name (see [`MachineKind::parse`]).
+    pub machine: String,
+    /// Seeded fault injection; `None` runs clean.
+    pub fault_seed: Option<u64>,
+    /// Request the Chrome span trace artifact.
+    pub trace: bool,
+    /// Request the Prometheus metrics artifact.
+    pub metrics: bool,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        Self {
+            impl_slug: "bulk_sync".to_string(),
+            grid: 12,
+            steps: 2,
+            tasks: 2,
+            threads: 1,
+            block: (8, 8),
+            thickness: 2,
+            machine: String::new(),
+            fault_seed: None,
+            trace: false,
+            metrics: false,
+        }
+    }
+}
+
+/// Hard caps on what a single request may ask for, so one tenant cannot
+/// park a grid that takes minutes on a shared worker. Servers pick the
+/// caps; the defaults bound a request to roughly test scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Largest accepted grid edge.
+    pub max_grid: u32,
+    /// Largest accepted step count.
+    pub max_steps: u32,
+    /// Largest accepted task count.
+    pub max_tasks: u32,
+    /// Largest accepted threads-per-task.
+    pub max_threads: u32,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        Self {
+            max_grid: 48,
+            max_steps: 64,
+            max_tasks: 16,
+            max_threads: 16,
+        }
+    }
+}
+
+/// A canonicalized, validated run request: the cache and dedup key.
+///
+/// Construction goes through [`RunParams::canonicalize`], which is the
+/// only way the invariants hold (ignored knobs zeroed, machine resolved,
+/// bounds checked) — hence the private fields and accessor methods.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RunKey {
+    implementation: Impl,
+    grid: u32,
+    steps: u32,
+    tasks: u32,
+    threads: u32,
+    block: (u32, u32),
+    thickness: u32,
+    machine: MachineKind,
+    fault_seed: Option<u64>,
+    trace: bool,
+    metrics: bool,
+}
+
+impl RunParams {
+    /// Validate and canonicalize into a [`RunKey`].
+    ///
+    /// Knobs the chosen implementation never reads are forced to a
+    /// fixed value so they cannot split the cache: CPU implementations
+    /// get `block = (0, 0)` and `machine = cpu`; non-MPI implementations
+    /// get `tasks = 1`; the pure-GPU implementations get `threads = 1`;
+    /// non-hybrid implementations get `thickness = 0`.
+    pub fn canonicalize(&self, limits: &RunLimits) -> Result<RunKey, String> {
+        let implementation = Impl::from_slug(&self.impl_slug)
+            .ok_or_else(|| format!("unknown impl {:?}", self.impl_slug))?;
+        if self.grid < 8 || self.grid > limits.max_grid {
+            return Err(format!(
+                "grid {} out of range 8..={}",
+                self.grid, limits.max_grid
+            ));
+        }
+        if self.steps < 1 || self.steps > limits.max_steps {
+            return Err(format!(
+                "steps {} out of range 1..={}",
+                self.steps, limits.max_steps
+            ));
+        }
+        let (machine, gpu_less) = MachineKind::parse(&self.machine)?;
+        let machine = if implementation.uses_gpu() {
+            if machine == MachineKind::Cpu {
+                if gpu_less {
+                    return Err(format!(
+                        "machine {:?} has no GPU but {} needs one",
+                        self.machine,
+                        implementation.slug()
+                    ));
+                }
+                // No machine named: default GPU runs to Yona's C2050,
+                // the paper's primary hybrid host.
+                MachineKind::Yona
+            } else {
+                machine
+            }
+        } else {
+            MachineKind::Cpu
+        };
+        let tasks = if implementation.uses_mpi() {
+            if self.tasks < 1 || self.tasks > limits.max_tasks {
+                return Err(format!(
+                    "tasks {} out of range 1..={}",
+                    self.tasks, limits.max_tasks
+                ));
+            }
+            if self.tasks > self.grid {
+                return Err(format!(
+                    "tasks {} exceed the {}-plane z extent",
+                    self.tasks, self.grid
+                ));
+            }
+            self.tasks
+        } else {
+            1
+        };
+        let threads = match implementation {
+            Impl::GpuResident | Impl::GpuBulkSync | Impl::GpuStreams => 1,
+            _ => {
+                if self.threads < 1 || self.threads > limits.max_threads {
+                    return Err(format!(
+                        "threads {} out of range 1..={}",
+                        self.threads, limits.max_threads
+                    ));
+                }
+                self.threads
+            }
+        };
+        let block = if implementation.uses_gpu() {
+            let (bx, by) = self.block;
+            if !(1..=64).contains(&bx) || !(1..=64).contains(&by) {
+                return Err(format!("block {bx}x{by} out of range 1..=64 per axis"));
+            }
+            (bx, by)
+        } else {
+            (0, 0)
+        };
+        let thickness = match implementation {
+            Impl::HybridBulkSync | Impl::HybridOverlap => {
+                if implementation == Impl::HybridOverlap && self.thickness == 0 {
+                    return Err("hybrid_overlap needs thickness >= 1".to_string());
+                }
+                if self.thickness > self.grid / 2 {
+                    return Err(format!(
+                        "thickness {} exceeds half the {}-point grid",
+                        self.thickness, self.grid
+                    ));
+                }
+                self.thickness
+            }
+            _ => 0,
+        };
+        Ok(RunKey {
+            implementation,
+            grid: self.grid,
+            steps: self.steps,
+            tasks,
+            threads,
+            block,
+            thickness,
+            machine,
+            fault_seed: self.fault_seed,
+            trace: self.trace,
+            metrics: self.metrics,
+        })
+    }
+}
+
+impl RunKey {
+    /// The implementation this key runs.
+    pub fn implementation(&self) -> Impl {
+        self.implementation
+    }
+
+    /// Cubic grid edge length.
+    pub fn grid(&self) -> u32 {
+        self.grid
+    }
+
+    /// Time steps.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// MPI tasks (canonicalized: 1 for non-MPI implementations).
+    pub fn tasks(&self) -> u32 {
+        self.tasks
+    }
+
+    /// Threads per task (canonicalized: 1 where unread).
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// The machine axis after canonicalization.
+    pub fn machine(&self) -> MachineKind {
+        self.machine
+    }
+
+    /// Seeded fault injection, if any.
+    pub fn fault_seed(&self) -> Option<u64> {
+        self.fault_seed
+    }
+
+    /// Whether the trace artifact was requested.
+    pub fn trace(&self) -> bool {
+        self.trace
+    }
+
+    /// Whether the metrics artifact was requested.
+    pub fn metrics(&self) -> bool {
+        self.metrics
+    }
+
+    /// The [`RunConfig`] this key induces.
+    pub fn config(&self) -> RunConfig {
+        let mut cfg = RunConfig::new(
+            AdvectionProblem::general_case(self.grid as usize),
+            self.steps as u64,
+        )
+        .tasks(self.tasks as usize)
+        .with_threads(self.threads as usize)
+        .with_thickness(self.thickness as usize)
+        .with_trace(self.trace)
+        .with_metrics(self.metrics);
+        if self.implementation.uses_gpu() {
+            cfg = cfg.with_block((self.block.0 as usize, self.block.1 as usize));
+        }
+        if let Some(seed) = self.fault_seed {
+            cfg = cfg.with_faults(FaultSpec::chaos(seed));
+        }
+        cfg
+    }
+
+    /// The GPU this key runs on (`None` for CPU implementations).
+    pub fn gpu_spec(&self) -> Option<GpuSpec> {
+        if self.implementation.uses_gpu() {
+            self.machine.gpu_spec()
+        } else {
+            None
+        }
+    }
+
+    /// Execute the run this key describes. Deterministic in everything
+    /// but wall-clock-derived observations; `Send`, so a server worker
+    /// can carry it to any thread.
+    pub fn execute(&self) -> (Field3, RunReport) {
+        let spec = self.gpu_spec();
+        self.implementation
+            .run_with_report(&self.config(), spec.as_ref())
+    }
+
+    /// A compact human-readable tag (`bulk_sync/g12/s3/t4x2/yona/f7`),
+    /// used in logs and load reports; *not* the cache key (the struct
+    /// itself is).
+    pub fn tag(&self) -> String {
+        let mut tag = format!(
+            "{}/g{}/s{}/t{}x{}",
+            self.implementation.slug(),
+            self.grid,
+            self.steps,
+            self.tasks,
+            self.threads
+        );
+        if self.implementation.uses_gpu() {
+            tag.push_str(&format!(
+                "/b{}x{}/{}",
+                self.block.0,
+                self.block.1,
+                self.machine.name()
+            ));
+        }
+        if self.thickness > 0 {
+            tag.push_str(&format!("/h{}", self.thickness));
+        }
+        if let Some(seed) = self.fault_seed {
+            tag.push_str(&format!("/f{seed}"));
+        }
+        if self.trace {
+            tag.push_str("/trace");
+        }
+        if self.metrics {
+            tag.push_str("/metrics");
+        }
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_zeroes_unread_knobs() {
+        let limits = RunLimits::default();
+        let mut p = RunParams {
+            impl_slug: "bulk_sync".into(),
+            block: (32, 8),
+            machine: "yona".into(),
+            thickness: 3,
+            ..RunParams::default()
+        };
+        let key = p.canonicalize(&limits).unwrap();
+        // A CPU implementation ignores block, machine, and thickness:
+        // all are canonicalized away so they cannot split the cache.
+        assert_eq!(key.machine(), MachineKind::Cpu);
+        assert_eq!(key.block, (0, 0));
+        assert_eq!(key.thickness, 0);
+
+        p.machine = "lens".into();
+        let key2 = p.canonicalize(&limits).unwrap();
+        assert_eq!(key, key2, "machine must not split CPU cache keys");
+
+        p.impl_slug = "single_task".into();
+        p.tasks = 8;
+        let key3 = p.canonicalize(&limits).unwrap();
+        assert_eq!(key3.tasks(), 1, "non-MPI implementations run one task");
+
+        p.impl_slug = "gpu_resident".into();
+        p.threads = 6;
+        let key4 = p.canonicalize(&limits).unwrap();
+        assert_eq!(key4.threads(), 1, "pure-GPU implementations ignore threads");
+        assert_eq!(key4.machine(), MachineKind::Lens);
+    }
+
+    #[test]
+    fn validation_rejects_bad_requests() {
+        let limits = RunLimits::default();
+        let bad = |f: &dyn Fn(&mut RunParams)| {
+            let mut p = RunParams::default();
+            f(&mut p);
+            p.canonicalize(&limits).unwrap_err()
+        };
+        assert!(bad(&|p| p.impl_slug = "warp_drive".into()).contains("unknown impl"));
+        assert!(bad(&|p| p.grid = 4).contains("grid"));
+        assert!(bad(&|p| p.grid = 4096).contains("grid"));
+        assert!(bad(&|p| p.steps = 0).contains("steps"));
+        assert!(bad(&|p| p.tasks = 200).contains("tasks"));
+        assert!(bad(&|p| {
+            p.grid = 8;
+            p.tasks = 12;
+        })
+        .contains("z extent"));
+        assert!(bad(&|p| p.machine = "cray_iii".into()).contains("unknown machine"));
+        assert!(bad(&|p| {
+            p.impl_slug = "gpu_streams".into();
+            p.machine = "jaguarpf".into();
+        })
+        .contains("no GPU"));
+        assert!(bad(&|p| {
+            p.impl_slug = "hybrid_overlap".into();
+            p.thickness = 0;
+        })
+        .contains("thickness"));
+        assert!(bad(&|p| {
+            p.impl_slug = "gpu_streams".into();
+            p.block = (0, 8);
+        })
+        .contains("block"));
+    }
+
+    #[test]
+    fn keys_execute_bit_identical_to_serial() {
+        use advect_core::stepper::SerialStepper;
+        let key = RunParams {
+            impl_slug: "nonblocking".into(),
+            grid: 12,
+            steps: 3,
+            tasks: 4,
+            threads: 2,
+            ..RunParams::default()
+        }
+        .canonicalize(&RunLimits::default())
+        .unwrap();
+        let (state, report) = key.execute();
+        let mut serial = SerialStepper::new(AdvectionProblem::general_case(12));
+        serial.run(3);
+        assert_eq!(state.max_abs_diff(serial.state()), 0.0);
+        assert_eq!(report.comm.len(), 4);
+        assert!(report.total_messages() > 0);
+    }
+
+    #[test]
+    fn tags_are_compact_and_distinct() {
+        let limits = RunLimits::default();
+        let a = RunParams::default().canonicalize(&limits).unwrap();
+        let b = RunParams {
+            fault_seed: Some(7),
+            trace: true,
+            ..RunParams::default()
+        }
+        .canonicalize(&limits)
+        .unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a.tag(), b.tag());
+        assert!(b.tag().contains("/f7"), "{}", b.tag());
+        assert!(b.tag().contains("/trace"), "{}", b.tag());
+    }
+}

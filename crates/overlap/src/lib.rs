@@ -29,6 +29,7 @@ pub mod gpu_streams;
 pub mod halo;
 pub mod hybrid_bulk_sync;
 pub mod hybrid_overlap;
+pub mod key;
 pub mod nonblocking;
 pub mod runner;
 pub mod single_task;
@@ -42,6 +43,7 @@ pub use gpu_streams::GpuStreamsMpi;
 pub use halo::HaloBuffers;
 pub use hybrid_bulk_sync::HybridBulkSync;
 pub use hybrid_overlap::HybridOverlap;
+pub use key::{MachineKind, RunKey, RunLimits, RunParams};
 pub use nonblocking::NonblockingMpi;
 pub use runner::{FaultSpec, RunConfig, RunReport};
 pub use single_task::SingleTask;
@@ -51,7 +53,7 @@ use advect_core::field::Field3;
 use simgpu::GpuSpec;
 
 /// The nine implementations, as a uniform enumeration for harnesses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Impl {
     /// IV-A: single task, multithreaded.
     SingleTask,
@@ -131,6 +133,12 @@ impl Impl {
             Impl::HybridBulkSync => "hybrid_bulk_sync",
             Impl::HybridOverlap => "hybrid_overlap",
         }
+    }
+
+    /// Inverse of [`Impl::slug`]: resolve a request's implementation
+    /// name. Returns `None` for anything that is not one of the nine.
+    pub fn from_slug(slug: &str) -> Option<Impl> {
+        Impl::ALL.iter().copied().find(|i| i.slug() == slug)
     }
 
     /// Whether this implementation uses a GPU.

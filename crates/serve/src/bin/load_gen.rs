@@ -1,0 +1,358 @@
+//! Closed-loop load generator for the run server.
+//!
+//! Spawns N tenant threads, each issuing a deterministic mix of
+//! requests back-to-back (closed loop: one outstanding request per
+//! tenant). A configurable fraction draws from a small shared pool of
+//! hot keys — the same keys across tenants, which is what exercises the
+//! cache and in-flight dedup — and the rest are unique cold keys.
+//!
+//! Reports requests/s and p50/p95/p99 latency, the server's cache-hit
+//! count, and whether every repeated key returned byte-identical
+//! artifact bytes. `--check` turns the report into a gate: exit 0 iff
+//! cache hits > 0, byte-identity holds, no request errored, and p99 is
+//! within budget.
+//!
+//! ```text
+//! load_gen [--addr HOST:PORT | --in-process] [--tenants N]
+//!          [--requests N] [--dup-fraction F] [--p99-budget-ms MS]
+//!          [--workers N] [--out FILE] [--check] [--shutdown]
+//! ```
+
+use figures::json::{self, Value};
+use overlap::{RunLimits, RunParams};
+use serve::protocol::{render_request, Request};
+use serve::server::{Server, ServerConfig};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The hot pool: few distinct keys shared by every tenant, so
+/// duplicates collide across tenants.
+fn hot_request(tenant: &str, pick: u64) -> Request {
+    let shapes = [
+        ("bulk_sync", 10, 2, 2),
+        ("nonblocking", 10, 2, 2),
+        ("bulk_sync", 12, 1, 4),
+    ];
+    let (impl_slug, grid, steps, tasks) = shapes[(pick as usize) % shapes.len()];
+    Request {
+        tenant: tenant.to_string(),
+        params: RunParams {
+            impl_slug: impl_slug.into(),
+            grid,
+            steps,
+            tasks,
+            threads: 1,
+            ..RunParams::default()
+        },
+        timeout_ms: None,
+    }
+}
+
+/// Cold keys: unique per (tenant, sequence) via the fault seed, which
+/// is part of the canonical key.
+fn cold_request(tenant: &str, tenant_idx: u64, seq: u64) -> Request {
+    Request {
+        tenant: tenant.to_string(),
+        params: RunParams {
+            impl_slug: "bulk_sync".into(),
+            grid: 8,
+            steps: 1,
+            tasks: 2,
+            threads: 1,
+            fault_seed: Some(1 + tenant_idx * 100_000 + seq),
+            ..RunParams::default()
+        },
+        timeout_ms: None,
+    }
+}
+
+enum Client {
+    InProcess(Arc<Server>),
+    Tcp(BufReader<TcpStream>),
+}
+
+impl Client {
+    fn connect(addr: Option<&str>, server: Option<&Arc<Server>>) -> Result<Client, String> {
+        match (addr, server) {
+            (Some(addr), _) => {
+                let stream =
+                    TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                let _ = stream.set_nodelay(true);
+                Ok(Client::Tcp(BufReader::new(stream)))
+            }
+            (None, Some(server)) => Ok(Client::InProcess(Arc::clone(server))),
+            _ => Err("no server".into()),
+        }
+    }
+
+    /// Issue one run; returns `(cached, artifact_bytes)`.
+    fn run(&mut self, req: &Request) -> Result<(bool, String), String> {
+        match self {
+            Client::InProcess(server) => {
+                let resp = server.run(req).map_err(|e| e.to_string())?;
+                Ok((resp.cached, (*resp.artifact).clone()))
+            }
+            Client::Tcp(reader) => {
+                let line = Self::roundtrip(reader, &render_request(req))?;
+                // Keep the artifact's exact bytes (no reparse/reprint):
+                // everything between `"artifact":` and the final `}`.
+                let v = Value::parse(&line).map_err(|e| format!("bad response: {e}"))?;
+                match v["status"].as_str() {
+                    Some("ok") => {}
+                    _ => {
+                        return Err(v["error"].as_str().unwrap_or("unknown error").to_string());
+                    }
+                }
+                let cached = v["cached"].as_bool().unwrap_or(false);
+                let start = line
+                    .find("\"artifact\":")
+                    .ok_or_else(|| "response missing artifact".to_string())?;
+                let artifact = line[start + "\"artifact\":".len()..line.len() - 1].to_string();
+                Ok((cached, artifact))
+            }
+        }
+    }
+
+    fn roundtrip(reader: &mut BufReader<TcpStream>, line: &str) -> Result<String, String> {
+        let stream = reader.get_mut();
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|_| stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        reader
+            .read_line(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        if response.is_empty() {
+            return Err("connection closed".into());
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    fn cache_hits(&mut self) -> Result<u64, String> {
+        let text = match self {
+            Client::InProcess(server) => return Ok(server.stats().cache_hits),
+            Client::Tcp(reader) => {
+                let line = Self::roundtrip(reader, "{\"cmd\":\"metrics\"}")?;
+                let v = Value::parse(&line).map_err(|e| format!("bad metrics: {e}"))?;
+                v["metrics"].as_str().unwrap_or("").to_string()
+            }
+        };
+        for metrics_line in text.lines() {
+            if let Some(rest) = metrics_line.strip_prefix("serve_cache_hits_total") {
+                if let Ok(v) = rest.trim().parse::<f64>() {
+                    return Ok(v as u64);
+                }
+            }
+        }
+        Err("serve_cache_hits_total not in metrics".into())
+    }
+
+    fn shutdown(&mut self) {
+        match self {
+            Client::InProcess(server) => server.shutdown(),
+            Client::Tcp(reader) => {
+                let _ = Self::roundtrip(reader, "{\"cmd\":\"shutdown\"}");
+            }
+        }
+    }
+}
+
+struct Sample {
+    tag: String,
+    artifact: String,
+    latency_ns: u64,
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn quantile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: load_gen [--addr HOST:PORT | --in-process] [--tenants N] [--requests N] \
+             [--dup-fraction F] [--p99-budget-ms MS] [--workers N] [--out FILE] [--check] [--shutdown]"
+        );
+        return;
+    }
+    let addr: Option<String> = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let tenants: usize = parse_flag(&args, "--tenants", 4);
+    let requests: usize = parse_flag(&args, "--requests", 25);
+    let dup_fraction: f64 = parse_flag(&args, "--dup-fraction", 0.5);
+    let p99_budget_ms: f64 = parse_flag(&args, "--p99-budget-ms", 5000.0);
+    let check = args.iter().any(|a| a == "--check");
+    let send_shutdown = args.iter().any(|a| a == "--shutdown");
+    let out: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let server = if addr.is_none() {
+        Some(Server::start(ServerConfig {
+            workers: parse_flag(&args, "--workers", 2),
+            ..ServerConfig::default()
+        }))
+    } else {
+        None
+    };
+
+    let limits = RunLimits::default();
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for t in 0..tenants {
+        let addr = addr.clone();
+        let server = server.clone();
+        let tenant = format!("tenant-{t}");
+        threads.push(std::thread::spawn(move || {
+            let mut client =
+                Client::connect(addr.as_deref(), server.as_ref()).expect("client connects");
+            let mut rng = Lcg(0x9e37_79b9 ^ (t as u64) << 17);
+            let mut samples = Vec::with_capacity(requests);
+            let mut errors = Vec::new();
+            for i in 0..requests {
+                let dup = (rng.next() % 1000) as f64 / 1000.0 < dup_fraction;
+                let req = if dup {
+                    hot_request(&tenant, rng.next())
+                } else {
+                    cold_request(&tenant, t as u64, i as u64)
+                };
+                let tag = req
+                    .params
+                    .canonicalize(&RunLimits::default())
+                    .expect("generated requests are valid")
+                    .tag();
+                let t0 = Instant::now();
+                match client.run(&req) {
+                    Ok((_cached, artifact)) => samples.push(Sample {
+                        tag,
+                        artifact,
+                        latency_ns: t0.elapsed().as_nanos() as u64,
+                    }),
+                    Err(e) => errors.push(format!("{tenant}#{i} {tag}: {e}")),
+                }
+            }
+            (samples, errors)
+        }));
+    }
+    let mut samples = Vec::new();
+    let mut errors = Vec::new();
+    for th in threads {
+        let (s, e) = th.join().expect("tenant thread");
+        samples.extend(s);
+        errors.extend(e);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let _ = limits;
+
+    // Byte-identity: every repeated key must have returned exactly one
+    // distinct artifact byte string.
+    let mut by_key: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for s in &samples {
+        by_key.entry(&s.tag).or_default().insert(&s.artifact);
+    }
+    let split_keys: Vec<&str> = by_key
+        .iter()
+        .filter(|(_, set)| set.len() > 1)
+        .map(|(k, _)| *k)
+        .collect();
+    let identity_ok = split_keys.is_empty();
+
+    let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_ns).collect();
+    latencies.sort_unstable();
+    let rps = samples.len() as f64 / wall_s.max(1e-9);
+    let p50 = quantile_ms(&latencies, 0.50);
+    let p95 = quantile_ms(&latencies, 0.95);
+    let p99 = quantile_ms(&latencies, 0.99);
+
+    let mut client = Client::connect(addr.as_deref(), server.as_ref()).expect("client connects");
+    let cache_hits = client.cache_hits().unwrap_or(0);
+    if send_shutdown || addr.is_none() {
+        client.shutdown();
+    }
+
+    let report = format!(
+        "{{\"tenants\":{tenants},\"requests_per_tenant\":{requests},\"dup_fraction\":{},\
+         \"completed\":{},\"errors\":{},\"wall_seconds\":{},\"rps\":{},\
+         \"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"p99_budget_ms\":{},\
+         \"cache_hits\":{cache_hits},\"distinct_keys\":{},\"identity_ok\":{identity_ok},\
+         \"split_keys\":[{}]}}",
+        json::number(dup_fraction),
+        samples.len(),
+        errors.len(),
+        json::number(wall_s),
+        json::number(rps),
+        json::number(p50),
+        json::number(p95),
+        json::number(p99),
+        json::number(p99_budget_ms),
+        by_key.len(),
+        split_keys
+            .iter()
+            .map(|k| json::escape(k))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    println!("{report}");
+    for e in errors.iter().take(5) {
+        eprintln!("load_gen error: {e}");
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+            eprintln!("load_gen: write {path}: {e}");
+        }
+    }
+    if check {
+        let mut failures = Vec::new();
+        if !errors.is_empty() {
+            failures.push(format!("{} requests errored", errors.len()));
+        }
+        if cache_hits == 0 {
+            failures.push("no cache hits".to_string());
+        }
+        if !identity_ok {
+            failures.push(format!("split artifacts for keys: {split_keys:?}"));
+        }
+        if p99 > p99_budget_ms {
+            failures.push(format!("p99 {p99:.1}ms over budget {p99_budget_ms:.1}ms"));
+        }
+        if !failures.is_empty() {
+            eprintln!("load_gen --check FAILED: {}", failures.join("; "));
+            std::process::exit(1);
+        }
+        eprintln!("load_gen --check passed");
+    }
+}

@@ -1,0 +1,57 @@
+//! The run server bin: bind a TCP address and serve line-delimited
+//! JSON run requests until a `{"cmd":"shutdown"}` arrives.
+//!
+//! ```text
+//! serve_run [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!           [--tenant-running N] [--deadline-ms MS]
+//! ```
+//!
+//! Prints `serve_run listening on <addr>` once bound, so scripts can
+//! wait for readiness by watching stdout (or probing the port).
+
+use serve::server::{Server, ServerConfig};
+use serve::tcp;
+use std::time::Duration;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: serve_run [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
+             [--tenant-running N] [--deadline-ms MS]"
+        );
+        return;
+    }
+    let addr = parse_flag(&args, "--addr", "127.0.0.1:7071".to_string());
+    let cfg = ServerConfig {
+        workers: parse_flag(&args, "--workers", 2usize),
+        queue_capacity: parse_flag(&args, "--queue", 64usize),
+        cache_capacity: parse_flag(&args, "--cache", 128usize),
+        tenant_max_running: parse_flag(&args, "--tenant-running", 1usize),
+        default_deadline: Duration::from_millis(parse_flag(&args, "--deadline-ms", 30_000u64)),
+        ..ServerConfig::default()
+    };
+    eprintln!(
+        "serve_run: workers={} queue={} cache={} tenant_running={}",
+        cfg.workers, cfg.queue_capacity, cfg.cache_capacity, cfg.tenant_max_running
+    );
+    let server = Server::start(cfg);
+    let result = tcp::serve(server, &addr, |bound| {
+        use std::io::Write;
+        println!("serve_run listening on {bound}");
+        let _ = std::io::stdout().flush();
+    });
+    if let Err(e) = result {
+        eprintln!("serve_run: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("serve_run: drained and stopped");
+}

@@ -1,0 +1,126 @@
+//! Capacity-bounded LRU cache over rendered artifacts.
+//!
+//! Keyed by the full [`RunKey`] — the canonicalized request — and
+//! storing `Arc<String>` so a hit hands back the *same* bytes the
+//! original execution rendered. True LRU via a monotonically increasing
+//! use-stamp: `get` and `insert` both refresh the stamp, and eviction
+//! removes the entry with the oldest stamp. Eviction scans the map
+//! (O(len)), which is fine at the few-hundred-entry capacities the
+//! server runs with.
+
+use overlap::RunKey;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The LRU cache. Not internally synchronized: the server keeps it
+/// behind the scheduler mutex.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<RunKey, (u64, Arc<String>)>,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` artifacts. Capacity 0 caches
+    /// nothing (every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            stamp: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Look up an artifact, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &RunKey) -> Option<Arc<String>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(key).map(|(used, v)| {
+            *used = stamp;
+            Arc::clone(v)
+        })
+    }
+
+    /// Store an artifact, evicting the least-recently-used entry if the
+    /// cache is full.
+    pub fn insert(&mut self, key: RunKey, value: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.stamp, value));
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap::{RunLimits, RunParams};
+
+    fn key(grid: u32) -> RunKey {
+        RunParams {
+            grid,
+            ..RunParams::default()
+        }
+        .canonicalize(&RunLimits::default())
+        .unwrap()
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(key(8), Arc::new("a".into()));
+        c.insert(key(9), Arc::new("b".into()));
+        assert_eq!(c.len(), 2);
+        // Touch 8 so 9 becomes the LRU entry.
+        assert!(c.get(&key(8)).is_some());
+        c.insert(key(10), Arc::new("c".into()));
+        assert_eq!(c.len(), 2, "capacity bound violated");
+        assert!(c.get(&key(9)).is_none(), "LRU entry should be evicted");
+        assert!(c.get(&key(8)).is_some());
+        assert!(c.get(&key(10)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut c = LruCache::new(2);
+        c.insert(key(8), Arc::new("a".into()));
+        c.insert(key(9), Arc::new("b".into()));
+        c.insert(key(8), Arc::new("a2".into()));
+        assert_eq!(c.len(), 2);
+        assert_eq!(*c.get(&key(8)).unwrap(), "a2".to_string());
+        // 9 is now oldest; a third key evicts it, not 8.
+        c.insert(key(10), Arc::new("c".into()));
+        assert!(c.get(&key(9)).is_none());
+        assert!(c.get(&key(8)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        c.insert(key(8), Arc::new("a".into()));
+        assert!(c.is_empty());
+        assert!(c.get(&key(8)).is_none());
+    }
+}

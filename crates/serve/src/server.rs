@@ -1,0 +1,601 @@
+//! The in-process run server: bounded queue, fixed worker pool,
+//! per-tenant round-robin fairness, in-flight dedup, request-keyed LRU
+//! cache, timeouts, and graceful drain.
+//!
+//! ## Scheduling
+//!
+//! Queued jobs live in per-tenant FIFO queues. Workers pick the next
+//! job round-robin across tenant ids (cursor over the sorted tenant
+//! map), skipping tenants already at their running cap — so a tenant
+//! flooding the queue gets at most its fair share of workers, and other
+//! tenants' requests overtake the flood rather than waiting behind it.
+//! The aggregate queue is bounded; submissions past the bound are
+//! rejected immediately with [`ServeError::Overloaded`] (dedup joins
+//! and cache hits never count against the bound).
+//!
+//! ## Dedup and caching
+//!
+//! Both are keyed by the canonicalized [`RunKey`]. A submission whose
+//! key is already queued or running joins that execution's waiter list;
+//! the single execution's rendered artifact is handed to every waiter
+//! and stored in the LRU cache, so identical requests always receive
+//! byte-identical bytes.
+//!
+//! ## Timeouts and shutdown
+//!
+//! A waiter that times out abandons its ticket; if it was the last
+//! waiter and the job had not started, the job is cancelled in place
+//! (removed from the queue). A running job is never interrupted — the
+//! worker finishes, caches the artifact, and the pool stays reusable.
+//! [`Server::shutdown`] stops accepting work, wakes the workers, lets
+//! them drain every queued and running job, and joins them.
+
+use crate::artifact;
+use crate::cache::LruCache;
+use crate::protocol::Request;
+use obs::registry::{Counter, Gauge, Histogram, Metrics};
+use overlap::{RunKey, RunLimits};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing runs.
+    pub workers: usize,
+    /// Aggregate bound on queued (not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Artifacts held in the LRU cache.
+    pub cache_capacity: usize,
+    /// Max jobs from one tenant running concurrently.
+    pub tenant_max_running: usize,
+    /// Deadline applied when a request carries no `timeout_ms`.
+    pub default_deadline: Duration,
+    /// Per-request validation bounds.
+    pub limits: RunLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            tenant_max_running: 1,
+            default_deadline: Duration::from_secs(30),
+            limits: RunLimits::default(),
+        }
+    }
+}
+
+/// Why a request did not produce an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request failed validation or canonicalization.
+    Invalid(String),
+    /// The queue is full; try again later.
+    Overloaded,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The waiter's deadline expired first.
+    Timeout,
+    /// The run itself panicked (a bug; the worker survives).
+    Failed(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Invalid(m) => write!(f, "invalid request: {m}"),
+            ServeError::Overloaded => write!(f, "overloaded: queue full"),
+            ServeError::ShuttingDown => write!(f, "shutting down"),
+            ServeError::Timeout => write!(f, "deadline exceeded"),
+            ServeError::Failed(m) => write!(f, "run failed: {m}"),
+        }
+    }
+}
+
+/// A completed request: the rendered artifact and whether it came from
+/// the cache without touching the pool.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// `true` when served from the LRU cache.
+    pub cached: bool,
+    /// The rendered artifact (shared bytes — identical keys get the
+    /// same allocation).
+    pub artifact: Arc<String>,
+}
+
+/// Counters snapshot for tests and load reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Run requests accepted for processing (valid ones).
+    pub requests: u64,
+    /// Requests served straight from the cache.
+    pub cache_hits: u64,
+    /// Requests that joined an in-flight execution.
+    pub dedup_joins: u64,
+    /// Executions actually performed by workers.
+    pub executions: u64,
+    /// Submissions rejected (queue full or shutting down).
+    pub rejects: u64,
+    /// Waiters whose deadline expired.
+    pub timeouts: u64,
+}
+
+enum PendState {
+    Waiting,
+    Done(Result<Arc<String>, ServeError>),
+}
+
+/// One execution's rendezvous: every deduplicated waiter blocks on the
+/// condvar; the worker publishes exactly once.
+struct Pending {
+    tenant: String,
+    state: Mutex<PendState>,
+    cv: Condvar,
+    /// Live tickets. The last waiter to abandon a still-queued job
+    /// cancels it.
+    waiters: Mutex<usize>,
+}
+
+impl Pending {
+    fn new(tenant: String) -> Self {
+        Self {
+            tenant,
+            state: Mutex::new(PendState::Waiting),
+            cv: Condvar::new(),
+            waiters: Mutex::new(1),
+        }
+    }
+
+    fn publish(&self, result: Result<Arc<String>, ServeError>) {
+        *self.state.lock() = PendState::Done(result);
+        self.cv.notify_all();
+    }
+}
+
+struct Job {
+    key: RunKey,
+    pending: Arc<Pending>,
+}
+
+struct Sched {
+    /// Queued jobs, FIFO per tenant.
+    queues: BTreeMap<String, VecDeque<Job>>,
+    /// Aggregate queued count (bounded by `queue_capacity`).
+    queued: usize,
+    /// Jobs running right now, per tenant (bounded by
+    /// `tenant_max_running`).
+    running: HashMap<String, usize>,
+    /// Round-robin cursor: the tenant served last.
+    cursor: Option<String>,
+    /// Every queued or running key, for dedup joins.
+    inflight: HashMap<RunKey, Arc<Pending>>,
+    cache: LruCache,
+    shutdown: bool,
+}
+
+struct SelfMetrics {
+    requests: Counter,
+    cache_hits: Counter,
+    dedup_joins: Counter,
+    executions: Counter,
+    rejects: Counter,
+    timeouts: Counter,
+    queue_depth: Gauge,
+    latency: Histogram,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    sched: Mutex<Sched>,
+    /// Wakes workers when work or a tenant slot appears, and the
+    /// drain-waiter at shutdown.
+    work_cv: Condvar,
+    registry: Metrics,
+    metrics: SelfMetrics,
+}
+
+/// The run server. Cloneable handle semantics come from wrapping in
+/// [`Arc`] (see [`Server::start`]).
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A claim on a submitted request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    inner: Arc<Inner>,
+    pending: Arc<Pending>,
+    key: RunKey,
+    submitted: Instant,
+    deadline: Duration,
+    /// Already-resolved response (cache hit) — no waiting needed.
+    ready: Option<Response>,
+    redeemed: bool,
+}
+
+impl Server {
+    /// Start the server: spawn `cfg.workers` worker threads and return
+    /// the handle. Shut down explicitly with [`Server::shutdown`];
+    /// dropping without it leaks the workers parked on the condvar
+    /// until process exit.
+    pub fn start(cfg: ServerConfig) -> Arc<Server> {
+        let registry = Metrics::on();
+        let metrics = SelfMetrics {
+            requests: registry.counter(
+                "serve_requests_total",
+                "Run requests accepted (validated) by the server",
+                &[],
+            ),
+            cache_hits: registry.counter(
+                "serve_cache_hits_total",
+                "Requests served from the artifact cache",
+                &[],
+            ),
+            dedup_joins: registry.counter(
+                "serve_dedup_joins_total",
+                "Requests that joined an in-flight execution",
+                &[],
+            ),
+            executions: registry.counter(
+                "serve_executions_total",
+                "Runs executed by the worker pool",
+                &[],
+            ),
+            rejects: registry.counter(
+                "serve_rejects_total",
+                "Submissions rejected: queue full or shutting down",
+                &[],
+            ),
+            timeouts: registry.counter(
+                "serve_timeouts_total",
+                "Waiters whose deadline expired",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "serve_queue_depth",
+                "Jobs queued and not yet running",
+                &[],
+            ),
+            latency: registry.histogram(
+                "serve_request_latency_ns",
+                "End-to-end request latency (submit to artifact)",
+                &[],
+            ),
+        };
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            sched: Mutex::new(Sched {
+                queues: BTreeMap::new(),
+                queued: 0,
+                running: HashMap::new(),
+                cursor: None,
+                inflight: HashMap::new(),
+                cache: LruCache::new(cfg.cache_capacity),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            registry,
+            metrics,
+            cfg,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Arc::new(Server {
+            inner,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Validate, canonicalize, and submit a request. Returns a ticket
+    /// immediately; cache hits resolve without touching the pool.
+    pub fn submit(&self, req: &Request) -> Result<Ticket, ServeError> {
+        let key = req
+            .params
+            .canonicalize(&self.inner.cfg.limits)
+            .map_err(ServeError::Invalid)?;
+        let deadline = req
+            .timeout_ms
+            .map(Duration::from_millis)
+            .unwrap_or(self.inner.cfg.default_deadline);
+        let submitted = Instant::now();
+        let m = &self.inner.metrics;
+        let mut sched = self.inner.sched.lock();
+        if let Some(hit) = sched.cache.get(&key) {
+            drop(sched);
+            m.requests.inc();
+            m.cache_hits.inc();
+            return Ok(Ticket {
+                inner: Arc::clone(&self.inner),
+                pending: Arc::new(Pending::new(req.tenant.clone())),
+                key,
+                submitted,
+                deadline,
+                ready: Some(Response {
+                    cached: true,
+                    artifact: hit,
+                }),
+                redeemed: false,
+            });
+        }
+        if let Some(pending) = sched.inflight.get(&key).cloned() {
+            *pending.waiters.lock() += 1;
+            drop(sched);
+            m.requests.inc();
+            m.dedup_joins.inc();
+            return Ok(Ticket {
+                inner: Arc::clone(&self.inner),
+                pending,
+                key,
+                submitted,
+                deadline,
+                ready: None,
+                redeemed: false,
+            });
+        }
+        if sched.shutdown {
+            drop(sched);
+            m.rejects.inc();
+            return Err(ServeError::ShuttingDown);
+        }
+        if sched.queued >= self.inner.cfg.queue_capacity {
+            drop(sched);
+            m.rejects.inc();
+            return Err(ServeError::Overloaded);
+        }
+        let pending = Arc::new(Pending::new(req.tenant.clone()));
+        sched.inflight.insert(key.clone(), Arc::clone(&pending));
+        sched
+            .queues
+            .entry(req.tenant.clone())
+            .or_default()
+            .push_back(Job {
+                key: key.clone(),
+                pending: Arc::clone(&pending),
+            });
+        sched.queued += 1;
+        m.queue_depth.set(sched.queued as i64);
+        drop(sched);
+        m.requests.inc();
+        self.inner.work_cv.notify_all();
+        Ok(Ticket {
+            inner: Arc::clone(&self.inner),
+            pending,
+            key,
+            submitted,
+            deadline,
+            ready: None,
+            redeemed: false,
+        })
+    }
+
+    /// Submit and block until the artifact (or error) is ready — the
+    /// one-call path TCP handlers use.
+    pub fn run(&self, req: &Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Stop accepting work, drain every queued and running job, and
+    /// join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut sched = self.inner.sched.lock();
+            sched.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Server self-metrics as Prometheus text.
+    pub fn metrics_text(&self) -> String {
+        self.inner.registry.render_prometheus()
+    }
+
+    /// Counter snapshot for tests and load reports.
+    pub fn stats(&self) -> ServerStats {
+        let m = &self.inner.metrics;
+        ServerStats {
+            requests: m.requests.get(),
+            cache_hits: m.cache_hits.get(),
+            dedup_joins: m.dedup_joins.get(),
+            executions: m.executions.get(),
+            rejects: m.rejects.get(),
+            timeouts: m.timeouts.get(),
+        }
+    }
+
+    /// Number of cached artifacts right now.
+    pub fn cache_len(&self) -> usize {
+        self.inner.sched.lock().cache.len()
+    }
+
+    /// Jobs queued and not yet picked by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.sched.lock().queued
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("key", &self.key)
+            .field("ready", &self.ready.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// The canonicalized key this ticket is waiting on.
+    pub fn key(&self) -> &RunKey {
+        &self.key
+    }
+
+    /// Block until the artifact is ready or the deadline expires.
+    pub fn wait(mut self) -> Result<Response, ServeError> {
+        self.redeemed = true;
+        if let Some(ready) = self.ready.take() {
+            self.inner
+                .metrics
+                .latency
+                .observe(self.submitted.elapsed().as_nanos() as u64);
+            return Ok(ready);
+        }
+        let deadline = self.submitted + self.deadline;
+        let mut state = self.pending.state.lock();
+        loop {
+            if let PendState::Done(result) = &*state {
+                let result = result.clone();
+                drop(state);
+                self.inner
+                    .metrics
+                    .latency
+                    .observe(self.submitted.elapsed().as_nanos() as u64);
+                return result.map(|artifact| Response {
+                    cached: false,
+                    artifact,
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(state);
+                self.abandon();
+                self.inner.metrics.timeouts.inc();
+                return Err(ServeError::Timeout);
+            }
+            self.pending
+                .cv
+                .wait_for(&mut state, deadline.duration_since(now));
+        }
+    }
+
+    /// Drop this waiter's claim; if it was the last waiter and the job
+    /// has not started, cancel the job in place.
+    fn abandon(&self) {
+        // Take the scheduler lock before touching the waiter count:
+        // dedup joins increment under the same lock, so "last waiter"
+        // and "job still queued" are decided atomically.
+        let mut sched = self.inner.sched.lock();
+        let last = {
+            let mut waiters = self.pending.waiters.lock();
+            *waiters -= 1;
+            *waiters == 0
+        };
+        if !last {
+            return;
+        }
+        let queue_has_job = sched
+            .queues
+            .get(&self.pending.tenant)
+            .is_some_and(|q| q.iter().any(|j| Arc::ptr_eq(&j.pending, &self.pending)));
+        if queue_has_job {
+            if let Some(q) = sched.queues.get_mut(&self.pending.tenant) {
+                q.retain(|j| !Arc::ptr_eq(&j.pending, &self.pending));
+            }
+            sched.queued -= 1;
+            sched.inflight.remove(&self.key);
+            self.inner.metrics.queue_depth.set(sched.queued as i64);
+        }
+        // A running job is left alone: the worker finishes and caches.
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if !self.redeemed && self.ready.is_none() {
+            self.abandon();
+        }
+    }
+}
+
+/// Pick the next runnable job: round-robin over tenant ids starting
+/// after the cursor, skipping tenants at their running cap.
+fn pick_next(sched: &mut Sched, tenant_max_running: usize) -> Option<Job> {
+    let tenants: Vec<String> = sched.queues.keys().cloned().collect();
+    if tenants.is_empty() {
+        return None;
+    }
+    let start = match &sched.cursor {
+        Some(cur) => tenants.iter().position(|t| t > cur).unwrap_or(0),
+        None => 0,
+    };
+    for offset in 0..tenants.len() {
+        let tenant = &tenants[(start + offset) % tenants.len()];
+        let running = sched.running.get(tenant).copied().unwrap_or(0);
+        if running >= tenant_max_running {
+            continue;
+        }
+        let queue = sched.queues.get_mut(tenant)?;
+        if let Some(job) = queue.pop_front() {
+            if queue.is_empty() {
+                sched.queues.remove(tenant);
+            }
+            sched.queued -= 1;
+            *sched.running.entry(tenant.clone()).or_insert(0) += 1;
+            sched.cursor = Some(tenant.clone());
+            return Some(job);
+        }
+        sched.queues.remove(tenant);
+    }
+    None
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut sched = inner.sched.lock();
+            loop {
+                if let Some(job) = pick_next(&mut sched, inner.cfg.tenant_max_running) {
+                    inner.metrics.queue_depth.set(sched.queued as i64);
+                    break job;
+                }
+                if sched.shutdown {
+                    return;
+                }
+                inner.work_cv.wait(&mut sched);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| artifact::render(&job.key)))
+            .map(Arc::new)
+            .map_err(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "run panicked".to_string());
+                ServeError::Failed(msg)
+            });
+        inner.metrics.executions.inc();
+        {
+            let mut sched = inner.sched.lock();
+            if let Some(n) = sched.running.get_mut(&job.pending.tenant) {
+                *n -= 1;
+                if *n == 0 {
+                    sched.running.remove(&job.pending.tenant);
+                }
+            }
+            sched.inflight.remove(&job.key);
+            if let Ok(artifact) = &result {
+                sched.cache.insert(job.key.clone(), Arc::clone(artifact));
+            }
+        }
+        job.pending.publish(result);
+        // A tenant slot freed and maybe new work is eligible.
+        inner.work_cv.notify_all();
+    }
+}

@@ -1,0 +1,278 @@
+//! Behavioral tests for the run server: in-flight dedup, LRU bounds,
+//! tenant fairness, timeout recovery, and graceful drain — all through
+//! the in-process API, no sockets.
+
+use overlap::RunParams;
+use serve::protocol::Request;
+use serve::server::{ServeError, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// A cheap, distinct request: the fault seed is part of the canonical
+/// key, so each seed is its own execution.
+fn cheap(tenant: &str, seed: u64) -> Request {
+    Request {
+        tenant: tenant.to_string(),
+        params: RunParams {
+            impl_slug: "bulk_sync".into(),
+            grid: 8,
+            steps: 1,
+            tasks: 2,
+            fault_seed: Some(seed),
+            ..RunParams::default()
+        },
+        timeout_ms: None,
+    }
+}
+
+/// A slow request that keeps one worker busy long enough for the test
+/// body to line up queue state behind it.
+fn blocker(tenant: &str) -> Request {
+    Request {
+        tenant: tenant.to_string(),
+        params: RunParams {
+            impl_slug: "bulk_sync".into(),
+            grid: 32,
+            steps: 16,
+            tasks: 2,
+            ..RunParams::default()
+        },
+        timeout_ms: None,
+    }
+}
+
+/// Spin until every queued job has been picked by a worker — used
+/// right after submitting a blocker so later submissions line up in
+/// the queue behind it instead of racing it for the worker.
+fn wait_all_picked(server: &Server) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.queue_depth() > 0 {
+        assert!(Instant::now() < deadline, "worker never picked queued work");
+        std::thread::yield_now();
+    }
+}
+
+fn one_worker() -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn dedup_runs_once_and_fans_out_identical_bytes() {
+    let server = Server::start(one_worker());
+    // Occupy the single worker so the duplicates all queue behind it.
+    let blocker_ticket = server.submit(&blocker("z")).unwrap();
+    wait_all_picked(&server);
+    let dup = cheap("a", 7);
+    let tickets: Vec<_> = (0..6).map(|_| server.submit(&dup).unwrap()).collect();
+    let stats = server.stats();
+    assert_eq!(
+        stats.dedup_joins, 5,
+        "five of six submissions join the first"
+    );
+    let artifacts: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("dedup waiter succeeds").artifact)
+        .collect();
+    for pair in artifacts.windows(2) {
+        assert!(
+            std::sync::Arc::ptr_eq(&pair[0], &pair[1]),
+            "all waiters share one rendered artifact"
+        );
+    }
+    blocker_ticket.wait().expect("blocker succeeds");
+    let stats = server.stats();
+    assert_eq!(stats.executions, 2, "blocker + one deduplicated execution");
+    assert_eq!(stats.requests, 7);
+    server.shutdown();
+}
+
+#[test]
+fn lru_cache_respects_capacity_and_serves_hits() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        cache_capacity: 2,
+        ..ServerConfig::default()
+    });
+    for seed in [1, 2, 3] {
+        server.run(&cheap("a", seed)).expect("run succeeds");
+    }
+    assert_eq!(server.cache_len(), 2, "cache never exceeds its capacity");
+    // Seed 3 is resident: a hit, no new execution.
+    let resp = server.run(&cheap("a", 3)).expect("cached run succeeds");
+    assert!(resp.cached);
+    // Seed 1 was evicted (oldest): re-executes.
+    let resp = server.run(&cheap("a", 1)).expect("evicted run succeeds");
+    assert!(!resp.cached);
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.executions, 4, "three cold runs + one eviction refill");
+    assert_eq!(server.cache_len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn round_robin_lets_a_singleton_overtake_a_flood() {
+    let server = Server::start(one_worker());
+    let blocker_ticket = server.submit(&blocker("z")).unwrap();
+    wait_all_picked(&server);
+    // Tenant a floods six jobs; tenant b then submits one. Round-robin
+    // drain must run b's job ahead of most of the flood.
+    let flood: Vec<_> = (0..6)
+        .map(|i| server.submit(&cheap("a", 100 + i)).unwrap())
+        .collect();
+    let single = server.submit(&cheap("b", 999)).unwrap();
+    let t0 = Instant::now();
+    let mut done = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, t) in flood.into_iter().enumerate() {
+            handles.push(scope.spawn(move || {
+                t.wait().expect("flood job succeeds");
+                (format!("a{i}"), t0.elapsed())
+            }));
+        }
+        handles.push(scope.spawn(move || {
+            single.wait().expect("singleton succeeds");
+            ("b".to_string(), t0.elapsed())
+        }));
+        for h in handles {
+            done.push(h.join().expect("waiter thread"));
+        }
+    });
+    blocker_ticket.wait().expect("blocker succeeds");
+    let b_done = done.iter().find(|(who, _)| who == "b").unwrap().1;
+    let a_before_b = done
+        .iter()
+        .filter(|(who, at)| who.starts_with('a') && *at < b_done)
+        .count();
+    assert!(
+        a_before_b <= 1,
+        "round-robin should run b second; {a_before_b} of the flood finished first"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn timeout_cancels_queued_work_and_leaves_the_pool_reusable() {
+    let server = Server::start(one_worker());
+    let blocker_ticket = server.submit(&blocker("z")).unwrap();
+    wait_all_picked(&server);
+    let mut doomed = cheap("a", 50);
+    doomed.timeout_ms = Some(1);
+    let ticket = server.submit(&doomed).unwrap();
+    assert_eq!(ticket.wait().unwrap_err(), ServeError::Timeout);
+    blocker_ticket
+        .wait()
+        .expect("blocker unaffected by the timeout");
+    // The cancelled job never executes, and the pool takes new work.
+    let resp = server.run(&cheap("a", 51)).expect("pool is reusable");
+    assert!(!resp.cached);
+    let stats = server.stats();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(
+        stats.executions, 2,
+        "blocker + follow-up only; doomed was cancelled"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_work_then_rejects() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let tickets: Vec<_> = (0..5)
+        .map(|i| {
+            server
+                .submit(&cheap(["a", "b"][i % 2], 200 + i as u64))
+                .unwrap()
+        })
+        .collect();
+    server.shutdown();
+    for t in tickets {
+        let resp = t
+            .wait()
+            .expect("jobs accepted before shutdown complete during the drain");
+        assert!(!resp.artifact.is_empty());
+    }
+    assert_eq!(server.stats().executions, 5, "every accepted job ran");
+    assert_eq!(
+        server.submit(&cheap("a", 300)).unwrap_err(),
+        ServeError::ShuttingDown
+    );
+}
+
+#[test]
+fn queue_bound_rejects_overload() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let blocker_ticket = server.submit(&blocker("z")).unwrap();
+    wait_all_picked(&server);
+    let t1 = server.submit(&cheap("a", 1)).unwrap();
+    let t2 = server.submit(&cheap("a", 2)).unwrap();
+    assert_eq!(
+        server.submit(&cheap("a", 3)).unwrap_err(),
+        ServeError::Overloaded
+    );
+    // Duplicates of queued work join instead of counting against the
+    // bound, and cache hits bypass the queue entirely.
+    let join = server.submit(&cheap("a", 2)).unwrap();
+    for t in [blocker_ticket, t1, t2, join] {
+        t.wait().expect("queued work completes");
+    }
+    assert!(server.stats().rejects >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_requests_fail_fast_without_touching_the_pool() {
+    let server = Server::start(one_worker());
+    let mut bad = cheap("a", 1);
+    bad.params.impl_slug = "warp_drive".into();
+    match server.submit(&bad) {
+        Err(ServeError::Invalid(msg)) => assert!(msg.contains("unknown impl")),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    assert_eq!(server.stats().executions, 0);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_on_running_work_times_out_the_waiter_but_still_caches() {
+    let server = Server::start(one_worker());
+    let mut slow = blocker("a");
+    slow.timeout_ms = Some(1);
+    let ticket = server.submit(&slow).unwrap();
+    // Wait until the worker has picked the job, so the expired deadline
+    // hits *running* work (a queued job would be cancelled instead).
+    let pick_deadline = Instant::now() + Duration::from_secs(60);
+    while server.queue_depth() > 0 {
+        assert!(
+            Instant::now() < pick_deadline,
+            "worker never picked the job"
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(ticket.wait().unwrap_err(), ServeError::Timeout);
+    // The execution was already running (or about to); it completes in
+    // the background and lands in the cache, so a retry is a hit.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if server.stats().executions >= 1 && server.cache_len() >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "execution never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut retry = blocker("a");
+    retry.timeout_ms = Some(60_000);
+    let resp = server.run(&retry).expect("retry hits the cache");
+    assert!(resp.cached);
+    server.shutdown();
+}
