@@ -54,6 +54,13 @@
 //!   `serve_cache_hit_speedup` — cold execution latency over cached
 //!   response latency measured in the same run, the one enforced
 //!   server gate;
+//! * `recorder_off_overhead_ratio`: a second two-tenant sweep with every
+//!   service-observability ring disabled (flight recorder, trace ring,
+//!   event log), divided by the committed pre-recorder baseline
+//!   (`BENCH_9.json` predates the flight recorder) — same orientation
+//!   and same advisory status as the other `*_off_overhead_ratio` keys;
+//!   the `recorder_alloc` zero-allocation test is the enforced
+//!   contract;
 //! * wall-clock seconds for the `figures --report` claim evaluation.
 //!
 //! Every timed section warms up untimed and reports a median-of-N, so a
@@ -239,11 +246,20 @@ fn serve_request(tenant: usize, seq: usize) -> serve::protocol::Request {
 
 /// Closed-loop sweep at `tenants` concurrent tenants against a fresh
 /// in-process server: returns `(requests_per_second, p99_ms)`.
-fn serve_sweep(tenants: usize) -> (f64, f64) {
-    let server = serve::server::Server::start(serve::server::ServerConfig {
+/// `recorder_off` disables every service-observability ring (flight
+/// recorder, trace ring, event log) so the sweep exercises the
+/// zero-cost-off path the `recorder_off_overhead_ratio` key reports on.
+fn serve_sweep(tenants: usize, recorder_off: bool) -> (f64, f64) {
+    let mut cfg = serve::server::ServerConfig {
         workers: SERVE_WORKERS,
         ..serve::server::ServerConfig::default()
-    });
+    };
+    if recorder_off {
+        cfg.recorder_capacity = 0;
+        cfg.trace_ring_capacity = 0;
+        cfg.log_capacity = 0;
+    }
+    let server = serve::server::Server::start(cfg);
     let t0 = Instant::now();
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(tenants * SERVE_REQUESTS);
     std::thread::scope(|scope| {
@@ -518,11 +534,26 @@ fn main() {
     let serve_curve: Vec<(usize, f64, f64)> = SERVE_TENANTS
         .iter()
         .map(|&t| {
-            let (rps, p99) = serve_sweep(t);
+            let (rps, p99) = serve_sweep(t, false);
             (t, rps, p99)
         })
         .collect();
     let cache_hit_speedup = serve_cache_speedup();
+    // Recorder off-overhead: a two-tenant sweep with every service-
+    // observability ring disabled, over the committed pre-recorder
+    // baseline. BENCH_9's serve_rps_t2 was measured before the recorder
+    // existed, so anything the disabled hooks cost shows up here —
+    // modulo cross-epoch host drift, which is why the key is advisory
+    // and the recorder_alloc test is the enforced contract.
+    let recorder_off_overhead = {
+        let (rps_off, _) = serve_sweep(2, true);
+        let baseline = committed_f64("BENCH_9.json", "serve_rps_t2");
+        if baseline > 0.0 {
+            rps_off / baseline
+        } else {
+            0.0
+        }
+    };
 
     let t0 = Instant::now();
     let claims = figures::report::evaluate_claims();
@@ -583,7 +614,8 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  \"serve_cache_hit_speedup\": {cache_hit_speedup:.1},\n"
+        "  \"serve_cache_hit_speedup\": {cache_hit_speedup:.1},\n  \
+         \"recorder_off_overhead_ratio\": {recorder_off_overhead:.3},\n"
     ));
     json.push_str(&format!(
         "  \"exchange_grid\": {EXCHANGE_N},\n  \"exchange_tasks\": {EXCHANGE_TASKS},\n  \
@@ -642,6 +674,10 @@ fn main() {
             gates.push((format!("serve_p99_ms_t{t}"), p99));
         }
         gates.push(("serve_cache_hit_speedup".to_string(), cache_hit_speedup));
+        gates.push((
+            "recorder_off_overhead_ratio".to_string(),
+            recorder_off_overhead,
+        ));
         let gate_refs: Vec<(&str, f64)> = gates.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         let outcome = history.check(&gate_refs, CHECK_TOLERANCE);
         match &outcome.baseline {

@@ -45,6 +45,7 @@ pub mod chrome;
 pub mod critical;
 pub mod divergence;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 
 use std::cell::UnsafeCell;
@@ -112,11 +113,21 @@ pub enum Category {
     /// Injected straggler slowdown: the rank slept to model a slow node
     /// (compute stragglers and allreduce stragglers).
     FaultThrottle,
+    /// Run-service request admission: parse, canonicalize, admit/reject.
+    ServeAccept,
+    /// Run-service queue wait: enqueue until a worker picked the job.
+    ServeQueue,
+    /// Run-service execution: a worker running the job's simulation.
+    ServeExecute,
+    /// Run-service artifact rendering and publication to waiters.
+    ServeRender,
+    /// Run-service response delivery: waiter wake-up through redemption.
+    ServeRespond,
 }
 
 impl Category {
     /// All categories, in taxonomy order.
-    pub const ALL: [Category; 15] = [
+    pub const ALL: [Category; 20] = [
         Category::ComputeInterior,
         Category::ComputeVeneer,
         Category::Pack,
@@ -132,6 +143,11 @@ impl Category {
         Category::FaultStall,
         Category::FaultRedeliver,
         Category::FaultThrottle,
+        Category::ServeAccept,
+        Category::ServeQueue,
+        Category::ServeExecute,
+        Category::ServeRender,
+        Category::ServeRespond,
     ];
 
     /// The exporter-visible dotted name.
@@ -152,16 +168,29 @@ impl Category {
             Category::FaultStall => "fault.stall",
             Category::FaultRedeliver => "fault.redeliver",
             Category::FaultThrottle => "fault.throttle",
+            Category::ServeAccept => "serve.accept",
+            Category::ServeQueue => "serve.queue",
+            Category::ServeExecute => "serve.execute",
+            Category::ServeRender => "serve.render",
+            Category::ServeRespond => "serve.respond",
         }
     }
 
     /// The coarse resource class used for overlap analysis.
     pub fn resource(self) -> Resource {
         match self {
+            // Service-track categories appear only on the request track
+            // (never inside run traces), so their class assignment is by
+            // activity kind: queue wait is passive like an MPI wait, the
+            // rest are host-side work.
             Category::ComputeInterior
             | Category::ComputeVeneer
             | Category::KernelLaunch
-            | Category::FaultThrottle => Resource::Compute,
+            | Category::FaultThrottle
+            | Category::ServeAccept
+            | Category::ServeExecute
+            | Category::ServeRender
+            | Category::ServeRespond => Resource::Compute,
             Category::Pack | Category::Unpack => Resource::Staging,
             Category::MpiSend
             | Category::MpiRecv
@@ -169,7 +198,8 @@ impl Category {
             | Category::MpiAllreduce
             | Category::MpiBarrier
             | Category::FaultStall
-            | Category::FaultRedeliver => Resource::Mpi,
+            | Category::FaultRedeliver
+            | Category::ServeQueue => Resource::Mpi,
             Category::PcieH2d | Category::PcieD2h => Resource::Pcie,
         }
     }

@@ -267,6 +267,12 @@ impl HistogramSnapshot {
         }
         bucket_floor(HISTOGRAM_BUCKETS - 1)
     }
+
+    /// The 99.9th percentile — the tail the run service's SLO and
+    /// per-tenant fairness gates watch.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 /// Series cell: the shared storage behind one `(name, labels)` handle.
@@ -512,7 +518,7 @@ impl Metrics {
 
     /// Render every series as a JSON document:
     /// `{"metrics": [{"name", "type", "labels", ...values}]}`. Histograms
-    /// carry `count`, `sum`, `mean`, `p50`, `p95`, `p99`. Returns
+    /// carry `count`, `sum`, `mean`, `p50`, `p95`, `p99`, `p999`. Returns
     /// `{"metrics": []}` when off.
     pub fn render_json(&self) -> String {
         let mut rows = Vec::new();
@@ -541,13 +547,15 @@ impl Metrics {
                         let s = h.snapshot();
                         format!(
                             "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
-                             \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}",
+                             \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+                             \"p999\": {}",
                             s.count,
                             s.sum,
                             s.mean(),
                             s.quantile(0.50),
                             s.quantile(0.95),
-                            s.quantile(0.99)
+                            s.quantile(0.99),
+                            s.p999()
                         )
                     }
                 };
@@ -760,6 +768,20 @@ mod tests {
         assert!(json.contains("\"impl\": \"iv_b\""));
         assert!(json.contains("\"count\": 10"));
         assert!(json.contains("\"p50\""));
+        assert!(json.contains("\"p999\""));
+    }
+
+    #[test]
+    fn p999_sits_at_or_above_p99() {
+        let m = Metrics::on();
+        let h = m.histogram("t_p999", "h", &[]);
+        for v in 0..1000u64 {
+            h.observe(v * 100);
+        }
+        let s = m.histogram_snapshot("t_p999");
+        assert!(s.p999() >= s.quantile(0.99));
+        let p999 = s.p999() as f64;
+        assert!((p999 - 99_900.0).abs() / 99_900.0 < 0.25, "p999={p999}");
     }
 
     #[test]

@@ -34,8 +34,17 @@ pub fn state_checksum(state: &advect_core::field::Field3) -> u64 {
 /// server worker runs; everything downstream (cache, waiters, the wire)
 /// sees only the returned string.
 pub fn render(key: &RunKey) -> String {
+    execute_render(key).0
+}
+
+/// Execute `key`, render its artifact, and also hand back the run
+/// report so the caller (the worker loop) can feed the flight recorder:
+/// the report carries the run's traces and the straggler verdict
+/// without a second execution.
+pub fn execute_render(key: &RunKey) -> (String, RunReport) {
     let (state, report) = key.execute();
-    render_report(key, &state, &report)
+    let artifact = render_report(key, &state, &report);
+    (artifact, report)
 }
 
 fn render_report(key: &RunKey, state: &advect_core::field::Field3, report: &RunReport) -> String {

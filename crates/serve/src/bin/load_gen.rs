@@ -6,16 +6,35 @@
 //! hot keys — the same keys across tenants, which is what exercises the
 //! cache and in-flight dedup — and the rest are unique cold keys.
 //!
-//! Reports requests/s and p50/p95/p99 latency, the server's cache-hit
-//! count, and whether every repeated key returned byte-identical
-//! artifact bytes. `--check` turns the report into a gate: exit 0 iff
-//! cache hits > 0, byte-identity holds, no request errored, and p99 is
-//! within budget.
+//! Reports requests/s and p50/p95/p99 latency — aggregate and per
+//! tenant — the server's cache-hit count, and whether every repeated
+//! key returned byte-identical artifact bytes. `--check` turns the
+//! report into a gate: exit 0 iff cache hits > 0, byte-identity holds,
+//! no request errored, and the **worst tenant's** p99 is within budget
+//! (per-tenant gating catches a fairness regression that aggregate p99
+//! averages away).
+//!
+//! Anomaly inducers for the recorder-smoke CI job: each issues one
+//! engineered request after the main load and records whether the
+//! expected trigger fired.
+//!
+//! * `--induce-deadline-miss` — a cold run with `timeout_ms=1`; the
+//!   expected outcome is a `deadline exceeded` error (which trips the
+//!   server's `deadline_miss` anomaly dump).
+//! * `--induce-straggler SEED` — a traced chaos run whose seed is known
+//!   to throttle one rank (the server flags it and dumps a `straggler`
+//!   bundle). Single-run detection is a statistical verdict on measured
+//!   busy times, so any one seed can miss on a noisy box; the inducer
+//!   checks the server's event log after each attempt and falls back to
+//!   alternate known-throttling seeds until one is flagged. Seed 38 at
+//!   the inducer shape (nonblocking, grid 32, steps 8, 4 ranks) is the
+//!   most reliable on the reference box.
 //!
 //! ```text
 //! load_gen [--addr HOST:PORT | --in-process] [--tenants N]
 //!          [--requests N] [--dup-fraction F] [--p99-budget-ms MS]
 //!          [--workers N] [--out FILE] [--check] [--shutdown]
+//!          [--induce-deadline-miss] [--induce-straggler SEED]
 //! ```
 
 use figures::json::{self, Value};
@@ -163,6 +182,19 @@ impl Client {
         Err("serve_cache_hits_total not in metrics".into())
     }
 
+    /// Has the server flagged a straggler yet? In process that is the
+    /// anomaly trigger count; over the wire it is a `straggler` entry in
+    /// the structured event log.
+    fn straggler_flagged(&mut self) -> bool {
+        match self {
+            Client::InProcess(server) => {
+                server.anomaly_dumps(serve::reqtrace::Anomaly::Straggler) >= 1
+            }
+            Client::Tcp(reader) => Self::roundtrip(reader, "{\"cmd\":\"events\"}")
+                .is_ok_and(|line| line.contains("\"event\":\"straggler\"")),
+        }
+    }
+
     fn shutdown(&mut self) {
         match self {
             Client::InProcess(server) => server.shutdown(),
@@ -215,6 +247,12 @@ fn main() {
     let p99_budget_ms: f64 = parse_flag(&args, "--p99-budget-ms", 5000.0);
     let check = args.iter().any(|a| a == "--check");
     let send_shutdown = args.iter().any(|a| a == "--shutdown");
+    let induce_deadline_miss = args.iter().any(|a| a == "--induce-deadline-miss");
+    let induce_straggler: Option<u64> = args
+        .iter()
+        .position(|a| a == "--induce-straggler")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
     let out: Option<String> = args
         .iter()
         .position(|a| a == "--out")
@@ -265,13 +303,18 @@ fn main() {
                     Err(e) => errors.push(format!("{tenant}#{i} {tag}: {e}")),
                 }
             }
-            (samples, errors)
+            (tenant, samples, errors)
         }));
     }
     let mut samples = Vec::new();
     let mut errors = Vec::new();
+    let mut per_tenant: BTreeMap<String, Vec<u64>> = BTreeMap::new();
     for th in threads {
-        let (s, e) = th.join().expect("tenant thread");
+        let (tenant, s, e) = th.join().expect("tenant thread");
+        per_tenant
+            .entry(tenant)
+            .or_default()
+            .extend(s.iter().map(|x| x.latency_ns));
         samples.extend(s);
         errors.extend(e);
     }
@@ -298,16 +341,131 @@ fn main() {
     let p95 = quantile_ms(&latencies, 0.95);
     let p99 = quantile_ms(&latencies, 0.99);
 
+    // Per-tenant tails, and the tenant whose p99 is worst — the number
+    // `--check` gates, because a fairness regression shows up as one
+    // tenant's tail blowing out while the aggregate stays flat.
+    let mut tenant_stats: Vec<(String, usize, f64, f64, f64)> = Vec::new();
+    for (tenant, lats) in &mut per_tenant {
+        lats.sort_unstable();
+        tenant_stats.push((
+            tenant.clone(),
+            lats.len(),
+            quantile_ms(lats, 0.50),
+            quantile_ms(lats, 0.95),
+            quantile_ms(lats, 0.99),
+        ));
+    }
+    let (worst_tenant, worst_p99) = tenant_stats
+        .iter()
+        .max_by(|a, b| a.4.total_cmp(&b.4))
+        .map(|(t, _, _, _, p99)| (t.clone(), *p99))
+        .unwrap_or_default();
+
     let mut client = Client::connect(addr.as_deref(), server.as_ref()).expect("client connects");
+
+    // Induced anomalies: one engineered request per flag, issued after
+    // the main load so they cannot disturb the latency numbers.
+    let mut induced: Vec<(&str, bool, String)> = Vec::new();
+    if induce_deadline_miss {
+        // Cold (unique seed) and heavy enough that a 1ms deadline
+        // always expires while the worker is still executing.
+        let req = Request {
+            tenant: "inducer".to_string(),
+            params: RunParams {
+                impl_slug: "bulk_sync".into(),
+                grid: 24,
+                steps: 16,
+                tasks: 4,
+                threads: 1,
+                fault_seed: Some(0xdead_11fe),
+                ..RunParams::default()
+            },
+            timeout_ms: Some(1),
+        };
+        let (ok, detail) = match client.run(&req) {
+            Err(e) if e.contains("deadline") => (true, e),
+            Ok(_) => (false, "completed before the 1ms deadline".to_string()),
+            Err(e) => (false, e),
+        };
+        induced.push(("deadline_miss", ok, detail));
+    }
+    if let Some(seed) = induce_straggler {
+        // Traced chaos runs: the server inspects each report's straggler
+        // verdict and dumps a bundle when a rank is flagged. Detection is
+        // statistical (robust z-score over measured busy times), so one
+        // seed can miss under scheduler noise; try the requested seed
+        // first, then alternates with independently verified throttle
+        // schedules, stopping at the first run the server flags. Distinct
+        // seeds mean distinct cache keys, so every attempt executes; the
+        // anomaly cooldown keeps the dump count at one regardless of how
+        // many attempts trip.
+        let mut attempts = vec![seed];
+        attempts.extend([38, 22, 27, 9].iter().filter(|&&s| s != seed));
+        let mut ok = false;
+        let mut detail = String::new();
+        for s in attempts {
+            let req = Request {
+                tenant: "inducer".to_string(),
+                params: RunParams {
+                    impl_slug: "nonblocking".into(),
+                    grid: 32,
+                    steps: 8,
+                    tasks: 4,
+                    threads: 1,
+                    trace: true,
+                    fault_seed: Some(s),
+                    ..RunParams::default()
+                },
+                timeout_ms: None,
+            };
+            match client.run(&req) {
+                Ok(_) if client.straggler_flagged() => {
+                    ok = true;
+                    detail = format!("flagged on traced chaos run, seed {s}");
+                    break;
+                }
+                Ok(_) => detail = format!("seed {s} ran but no rank was flagged"),
+                Err(e) => detail = format!("seed {s}: {e}"),
+            }
+        }
+        induced.push(("straggler", ok, detail));
+    }
+
     let cache_hits = client.cache_hits().unwrap_or(0);
     if send_shutdown || addr.is_none() {
         client.shutdown();
     }
 
+    let per_tenant_json = tenant_stats
+        .iter()
+        .map(|(t, n, p50, p95, p99)| {
+            format!(
+                "{}:{{\"n\":{n},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{}}}",
+                json::escape(t),
+                json::number(*p50),
+                json::number(*p95),
+                json::number(*p99),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let induced_json = induced
+        .iter()
+        .map(|(kind, ok, detail)| {
+            format!(
+                "{{\"kind\":\"{kind}\",\"ok\":{ok},\"detail\":{}}}",
+                json::escape(detail)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let report = format!(
         "{{\"tenants\":{tenants},\"requests_per_tenant\":{requests},\"dup_fraction\":{},\
          \"completed\":{},\"errors\":{},\"wall_seconds\":{},\"rps\":{},\
          \"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"p99_budget_ms\":{},\
+         \"per_tenant\":{{{per_tenant_json}}},\
+         \"worst_tenant\":{},\"worst_tenant_p99_ms\":{},\
+         \"induced\":[{induced_json}],\
          \"cache_hits\":{cache_hits},\"distinct_keys\":{},\"identity_ok\":{identity_ok},\
          \"split_keys\":[{}]}}",
         json::number(dup_fraction),
@@ -319,6 +477,8 @@ fn main() {
         json::number(p95),
         json::number(p99),
         json::number(p99_budget_ms),
+        json::escape(&worst_tenant),
+        json::number(worst_p99),
         by_key.len(),
         split_keys
             .iter()
@@ -346,8 +506,15 @@ fn main() {
         if !identity_ok {
             failures.push(format!("split artifacts for keys: {split_keys:?}"));
         }
-        if p99 > p99_budget_ms {
-            failures.push(format!("p99 {p99:.1}ms over budget {p99_budget_ms:.1}ms"));
+        if worst_p99 > p99_budget_ms {
+            failures.push(format!(
+                "worst tenant {worst_tenant} p99 {worst_p99:.1}ms over budget {p99_budget_ms:.1}ms"
+            ));
+        }
+        for (kind, ok, detail) in &induced {
+            if !ok {
+                failures.push(format!("induced {kind} did not trip: {detail}"));
+            }
         }
         if !failures.is_empty() {
             eprintln!("load_gen --check FAILED: {}", failures.join("; "));

@@ -4,11 +4,20 @@
 //! ```text
 //! serve_run [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!           [--tenant-running N] [--deadline-ms MS]
+//!           [--dump-dir PATH] [--recorder N] [--trace-ring N]
+//!           [--log-capacity N] [--log-rate N] [--log-stderr]
+//!           [--slo-threshold-ms MS] [--cooldown-s S] [--overload-burst N]
 //! ```
+//!
+//! `--dump-dir` enables anomaly bundles on disk; `--recorder 0` turns
+//! the flight recorder off entirely (the zero-cost-off path).
+//! `--log-stderr` mirrors the structured event log to stderr as JSON
+//! lines for supervised deployments.
 //!
 //! Prints `serve_run listening on <addr>` once bound, so scripts can
 //! wait for readiness by watching stdout (or probing the port).
 
+use serve::reqtrace::SloConfig;
 use serve::server::{Server, ServerConfig};
 use serve::tcp;
 use std::time::Duration;
@@ -26,22 +35,55 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: serve_run [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-             [--tenant-running N] [--deadline-ms MS]"
+             [--tenant-running N] [--deadline-ms MS] [--dump-dir PATH] [--recorder N] \
+             [--trace-ring N] [--log-capacity N] [--log-rate N] [--log-stderr] \
+             [--slo-threshold-ms MS] [--cooldown-s S] [--overload-burst N]"
         );
         return;
     }
     let addr = parse_flag(&args, "--addr", "127.0.0.1:7071".to_string());
+    let dump_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--dump-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         workers: parse_flag(&args, "--workers", 2usize),
         queue_capacity: parse_flag(&args, "--queue", 64usize),
         cache_capacity: parse_flag(&args, "--cache", 128usize),
         tenant_max_running: parse_flag(&args, "--tenant-running", 1usize),
         default_deadline: Duration::from_millis(parse_flag(&args, "--deadline-ms", 30_000u64)),
+        recorder_capacity: parse_flag(&args, "--recorder", defaults.recorder_capacity),
+        trace_ring_capacity: parse_flag(&args, "--trace-ring", defaults.trace_ring_capacity),
+        log_capacity: parse_flag(&args, "--log-capacity", defaults.log_capacity),
+        log_rate_per_sec: parse_flag(&args, "--log-rate", defaults.log_rate_per_sec),
+        log_stderr: args.iter().any(|a| a == "--log-stderr"),
+        slo: SloConfig {
+            threshold: Duration::from_millis(parse_flag(
+                &args,
+                "--slo-threshold-ms",
+                defaults.slo.threshold.as_millis() as u64,
+            )),
+            ..defaults.slo
+        },
+        overload_burst: parse_flag(&args, "--overload-burst", defaults.overload_burst),
+        anomaly_cooldown: Duration::from_secs(parse_flag(
+            &args,
+            "--cooldown-s",
+            defaults.anomaly_cooldown.as_secs(),
+        )),
+        dump_dir: dump_dir.map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
     eprintln!(
-        "serve_run: workers={} queue={} cache={} tenant_running={}",
-        cfg.workers, cfg.queue_capacity, cfg.cache_capacity, cfg.tenant_max_running
+        "serve_run: workers={} queue={} cache={} tenant_running={} recorder={} dump_dir={:?}",
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.cache_capacity,
+        cfg.tenant_max_running,
+        cfg.recorder_capacity,
+        cfg.dump_dir
     );
     let server = Server::start(cfg);
     let result = tcp::serve(server, &addr, |bound| {

@@ -29,14 +29,31 @@
 //! The server exports its own health through the same `obs::registry`
 //! machinery the simulations use: `serve_requests_total`,
 //! `serve_cache_hits_total`, `serve_queue_depth`,
-//! `serve_request_latency_ns` and friends, rendered by
-//! [`Server::metrics_text`].
+//! `serve_request_latency_ns`, `serve_queue_wait_ms` and friends,
+//! rendered by [`Server::metrics_text`] / [`Server::metrics_json`].
+//!
+//! Service-layer observability (this crate's counterpart of the
+//! per-run tracing stack):
+//!
+//! * [`reqtrace`] — every submission gets a request id and a lifecycle
+//!   span chain on a dedicated service track, stitched to the executed
+//!   run's own trace in one Chrome/Perfetto export.
+//! * An always-on **flight recorder** (`obs::recorder` rings inside the
+//!   server) that dumps a self-contained JSON bundle on anomalies:
+//!   deadline misses, `Overloaded` bursts, straggler flags, SLO burn.
+//! * [`log`] — leveled, rate-limited JSON-lines events, queryable over
+//!   the wire via `{"cmd":"events"}` alongside `{"cmd":"health"}` and
+//!   `{"cmd":"dump"}`.
 
 pub mod artifact;
 pub mod cache;
+pub mod log;
 pub mod protocol;
+pub mod reqtrace;
 pub mod server;
 pub mod tcp;
 
+pub use log::{Level, Log};
 pub use protocol::{Command, Request};
+pub use reqtrace::{Anomaly, ReqEvent, RequestId, SloConfig, SloTracker, Stage};
 pub use server::{Response, ServeError, Server, ServerConfig, ServerStats, Ticket};

@@ -11,7 +11,10 @@
 //! `machine` (`cpu`/`lens`/`yona`/`jaguarpf`/`hopper_ii`), `fault_seed`,
 //! `trace`, `metrics`, `timeout_ms`. Control commands use `cmd`:
 //! `{"cmd":"ping"}`, `{"cmd":"metrics"}` (server self-metrics as
-//! Prometheus text), `{"cmd":"shutdown"}` (drain and exit).
+//! Prometheus text), `{"cmd":"events"}` (the structured event log),
+//! `{"cmd":"health"}` (liveness + SLO + recorder summary),
+//! `{"cmd":"dump"}` (an on-demand flight-recorder bundle), and
+//! `{"cmd":"shutdown"}` (drain and exit).
 //!
 //! Responses: `{"status":"ok","cached":false,"artifact":{...}}` or
 //! `{"status":"error","error":"..."}`. The `artifact` object is rendered
@@ -40,11 +43,23 @@ pub enum Command {
     Run(Request),
     /// Render the server's self-metrics as Prometheus text.
     Metrics,
+    /// The structured event log's retained lines.
+    Events,
+    /// Liveness + SLO + flight-recorder summary.
+    Health,
+    /// An on-demand flight-recorder bundle.
+    Dump,
     /// Liveness probe.
     Ping,
     /// Drain in-flight runs and stop the server.
     Shutdown,
 }
+
+/// Every `cmd` value the protocol understands, in the order listed by
+/// the unknown-command error.
+pub const SUPPORTED_CMDS: [&str; 7] = [
+    "run", "metrics", "events", "health", "dump", "ping", "shutdown",
+];
 
 fn get_u32(v: &Value, key: &str, default: u32) -> Result<u32, String> {
     match &v[key] {
@@ -75,9 +90,17 @@ pub fn parse_line(line: &str) -> Result<Command, String> {
         Value::String(c) => match c.as_str() {
             "run" => {}
             "metrics" => return Ok(Command::Metrics),
+            "events" => return Ok(Command::Events),
+            "health" => return Ok(Command::Health),
+            "dump" => return Ok(Command::Dump),
             "ping" => return Ok(Command::Ping),
             "shutdown" => return Ok(Command::Shutdown),
-            other => return Err(format!("unknown cmd {other:?}")),
+            other => {
+                return Err(format!(
+                    "unknown cmd {other:?}; supported: {}",
+                    SUPPORTED_CMDS.join(", ")
+                ))
+            }
         },
         other => return Err(format!("field \"cmd\" must be a string, got {other}")),
     }
@@ -250,10 +273,22 @@ mod tests {
             parse_line("{\"cmd\":\"metrics\"}").unwrap(),
             Command::Metrics
         );
+        assert_eq!(parse_line("{\"cmd\":\"events\"}").unwrap(), Command::Events);
+        assert_eq!(parse_line("{\"cmd\":\"health\"}").unwrap(), Command::Health);
+        assert_eq!(parse_line("{\"cmd\":\"dump\"}").unwrap(), Command::Dump);
         assert_eq!(
             parse_line("{\"cmd\":\"shutdown\"}").unwrap(),
             Command::Shutdown
         );
+    }
+
+    #[test]
+    fn unknown_cmd_error_names_it_and_lists_supported() {
+        let err = parse_line("{\"cmd\":\"reboot\"}").unwrap_err();
+        assert!(err.contains("\"reboot\""), "{err}");
+        for cmd in SUPPORTED_CMDS {
+            assert!(err.contains(cmd), "error should list {cmd:?}: {err}");
+        }
     }
 
     #[test]

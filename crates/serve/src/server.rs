@@ -29,15 +29,35 @@
 //! worker finishes, caches the artifact, and the pool stays reusable.
 //! [`Server::shutdown`] stops accepting work, wakes the workers, lets
 //! them drain every queued and running job, and joins them.
+//!
+//! ## Observability
+//!
+//! Every submission gets a request id and a lifecycle event chain in
+//! the always-on flight recorder (see [`crate::reqtrace`]): `accepted →
+//! queued → executing → rendered → responded`, with `cache-hit`,
+//! `dedup-join`, `timed-out`, and `rejected` branches. Traced runs park
+//! their spans in a small trace ring. On an anomaly — deadline miss,
+//! `Overloaded` burst, straggler flag, or SLO burn — the server dumps a
+//! self-contained JSON bundle (request timeline stitched to run traces,
+//! metrics, blame matrix) to `dump_dir`, at most once per kind per
+//! cooldown. Notable transitions also land in the structured event log
+//! ([`crate::log`]), queryable via `{"cmd":"events"}`.
 
 use crate::artifact;
 use crate::cache::LruCache;
+use crate::log::{Level, Log};
 use crate::protocol::Request;
+use crate::reqtrace::{
+    self, Anomaly, BundleInput, ReqEvent, RequestId, SloConfig, SloTracker, Stage,
+};
+use obs::recorder::{Ring, StoredRun, TraceRing};
 use obs::registry::{Counter, Gauge, Histogram, Metrics};
 use overlap::{RunKey, RunLimits};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -57,6 +77,28 @@ pub struct ServerConfig {
     pub default_deadline: Duration,
     /// Per-request validation bounds.
     pub limits: RunLimits,
+    /// Flight-recorder event ring capacity (0 disables the recorder —
+    /// no rings are allocated and no anomaly bundles are produced).
+    pub recorder_capacity: usize,
+    /// Traced runs kept for stitching (ignored when the recorder is
+    /// off).
+    pub trace_ring_capacity: usize,
+    /// Structured-log ring capacity (0 disables the log).
+    pub log_capacity: usize,
+    /// Max rendered log lines per event kind per second.
+    pub log_rate_per_sec: u32,
+    /// Tee log lines to stderr (for `serve_run` in a terminal).
+    pub log_stderr: bool,
+    /// SLO threshold / target / burn windows.
+    pub slo: SloConfig,
+    /// `Overloaded` rejections within one second that trip the
+    /// overload-burst anomaly (0 disables the trigger).
+    pub overload_burst: usize,
+    /// Minimum spacing between dumps of the same anomaly kind.
+    pub anomaly_cooldown: Duration,
+    /// Where anomaly bundles are written; `None` keeps them queryable
+    /// via `{"cmd":"dump"}` only.
+    pub dump_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +110,15 @@ impl Default for ServerConfig {
             tenant_max_running: 1,
             default_deadline: Duration::from_secs(30),
             limits: RunLimits::default(),
+            recorder_capacity: 256,
+            trace_ring_capacity: 4,
+            log_capacity: 256,
+            log_rate_per_sec: 50,
+            log_stderr: false,
+            slo: SloConfig::default(),
+            overload_burst: 16,
+            anomaly_cooldown: Duration::from_secs(60),
+            dump_dir: None,
         }
     }
 }
@@ -162,6 +213,12 @@ impl Pending {
 struct Job {
     key: RunKey,
     pending: Arc<Pending>,
+    /// Request id of the submission that created (not joined) this job.
+    req_id: u64,
+    /// Tenant hash carried into recorder events.
+    tenant_hash: u64,
+    /// Service-clock nanoseconds at enqueue, for the queue-wait span.
+    enqueued_ns: u64,
 }
 
 struct Sched {
@@ -189,6 +246,45 @@ struct SelfMetrics {
     timeouts: Counter,
     queue_depth: Gauge,
     latency: Histogram,
+    /// Enqueue → worker-pick wait, milliseconds. Distinct from
+    /// end-to-end `latency`: queue wait is the signal round-robin
+    /// fairness actually controls.
+    queue_wait: Histogram,
+    slo_fast_burn: Gauge,
+    slo_slow_burn: Gauge,
+    slo_breaches: Counter,
+    /// One counter per [`Anomaly`] kind, labelled by `kind`.
+    anomalies: Vec<Counter>,
+}
+
+/// Fixed-size window of recent `Overloaded` rejection timestamps for
+/// burst detection (0 = empty slot; real stamps are clamped to ≥ 1).
+struct RejectWindow {
+    stamps: [u64; 64],
+    next: usize,
+}
+
+/// Request-scoped tracing + flight-recorder state. Allocated once at
+/// server start; with `recorder_capacity == 0` the rings are `off()`
+/// and every recording call returns immediately.
+struct ServiceObs {
+    anchor: obs::Anchor,
+    next_id: AtomicU64,
+    events: Ring<ReqEvent>,
+    traces: TraceRing,
+    log: Log,
+    slo: SloTracker,
+    /// Wall second of the last burn-rate evaluation: the gauges and the
+    /// SLO-burn trigger re-check at most once per second (plus on every
+    /// breach), keeping the bucket scans off the cache-hit fast path.
+    last_burn_eval_s: AtomicU64,
+    rejects: Mutex<RejectWindow>,
+    /// Service-clock ns of the last dump per anomaly kind (0 = never),
+    /// claimed by CAS so concurrent triggers produce exactly one dump.
+    last_dump_ns: [AtomicU64; Anomaly::ALL.len()],
+    /// Dumps produced per anomaly kind.
+    dumps: [AtomicU64; Anomaly::ALL.len()],
+    dump_seq: AtomicU64,
 }
 
 struct Inner {
@@ -199,6 +295,172 @@ struct Inner {
     work_cv: Condvar,
     registry: Metrics,
     metrics: SelfMetrics,
+    obs: ServiceObs,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        self.obs.anchor.elapsed_ns()
+    }
+
+    /// Record one lifecycle event into the flight recorder (no-op when
+    /// the recorder is off).
+    fn record(&self, id: u64, stage: Stage, tenant: u64, start_ns: u64, end_ns: u64) {
+        self.obs.events.push(ReqEvent {
+            id,
+            stage,
+            tenant,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    fn stats_snapshot(&self) -> ServerStats {
+        let m = &self.metrics;
+        ServerStats {
+            requests: m.requests.get(),
+            cache_hits: m.cache_hits.get(),
+            dedup_joins: m.dedup_joins.get(),
+            executions: m.executions.get(),
+            rejects: m.rejects.get(),
+            timeouts: m.timeouts.get(),
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        let s = self.stats_snapshot();
+        format!(
+            "{{\"requests\":{},\"cache_hits\":{},\"dedup_joins\":{},\"executions\":{},\"rejects\":{},\"timeouts\":{}}}",
+            s.requests, s.cache_hits, s.dedup_joins, s.executions, s.rejects, s.timeouts
+        )
+    }
+
+    /// Close out one request: record the terminal event, feed the SLO
+    /// tracker, refresh the burn gauges, and maybe trip the burn
+    /// anomaly.
+    fn finish_request(&self, id: u64, tenant: u64, latency_ns: u64, stage: Stage) {
+        let now = self.now_ns();
+        self.record(id, stage, tenant, now, now);
+        let now_s = now / 1_000_000_000;
+        let breached = self.obs.slo.observe(now_s, latency_ns);
+        if breached {
+            self.metrics.slo_breaches.inc();
+        }
+        // The burn windows are 60s/300s wide, so the gauges and the
+        // SLO-burn trigger cannot change meaningfully within a wall
+        // second: re-evaluate once per second (and on every breach),
+        // not on every request — the bucket scans would otherwise tax
+        // the cache-hit fast path.
+        if breached || self.obs.last_burn_eval_s.load(Ordering::Relaxed) != now_s {
+            self.obs.last_burn_eval_s.store(now_s, Ordering::Relaxed);
+            let fast = self.obs.slo.fast_burn(now_s);
+            let slow = self.obs.slo.slow_burn(now_s);
+            self.metrics.slo_fast_burn.set((fast * 1000.0) as i64);
+            self.metrics.slo_slow_burn.set((slow * 1000.0) as i64);
+            if self.obs.slo.burning(now_s) {
+                self.trigger_anomaly(Anomaly::SloBurn, None);
+            }
+        }
+    }
+
+    /// Note one `Overloaded` rejection and trip the burst anomaly when
+    /// the one-second window fills past the configured threshold.
+    fn note_reject(&self, now_ns: u64) {
+        let burst = self.cfg.overload_burst;
+        if burst == 0 {
+            return;
+        }
+        let count = {
+            let mut w = self.obs.rejects.lock();
+            let at = w.next % w.stamps.len();
+            w.stamps[at] = now_ns.max(1);
+            w.next += 1;
+            let cutoff = now_ns.saturating_sub(1_000_000_000);
+            w.stamps.iter().filter(|&&s| s != 0 && s >= cutoff).count()
+        };
+        if count >= burst {
+            self.trigger_anomaly(Anomaly::OverloadBurst, None);
+        }
+    }
+
+    /// Dump a bundle for `kind` unless one was produced within the
+    /// cooldown. The per-kind CAS guarantees exactly one dump per
+    /// trigger even when several threads observe the anomaly at once.
+    fn trigger_anomaly(&self, kind: Anomaly, blame_json: Option<String>) {
+        if !self.obs.events.is_on() {
+            return;
+        }
+        let now = self.now_ns().max(1);
+        let slot = &self.obs.last_dump_ns[kind.index()];
+        let last = slot.load(Ordering::SeqCst);
+        let cooldown = self.cfg.anomaly_cooldown.as_nanos() as u64;
+        if last != 0 && now.saturating_sub(last) < cooldown {
+            return;
+        }
+        if slot
+            .compare_exchange(last, now, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        self.obs.dumps[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.metrics.anomalies[kind.index()].inc();
+        let seq = self.obs.dump_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let bundle = self.render_dump(kind.as_str(), seq, blame_json);
+        let path = match &self.cfg.dump_dir {
+            Some(dir) => {
+                let path = dir.join(format!("dump_{}_{seq:04}.json", kind.as_str()));
+                match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &bundle)) {
+                    Ok(()) => Some(path.display().to_string()),
+                    Err(e) => {
+                        self.obs.log.event(Level::Error, "dump_write_failed", |f| {
+                            f.str("kind", kind.as_str())
+                                .str("path", &path.display().to_string())
+                                .str("error", &e.to_string());
+                        });
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
+        self.obs.log.event(Level::Warn, "anomaly_dump", |f| {
+            f.str("kind", kind.as_str()).num("seq", seq);
+            if let Some(p) = &path {
+                f.str("path", p);
+            }
+        });
+    }
+
+    /// Render a bundle from the recorder's current contents. Falls back
+    /// to the newest stored run's blame matrix when the trigger did not
+    /// carry one.
+    fn render_dump(&self, kind: &str, seq: u64, blame_json: Option<String>) -> String {
+        let events = self.obs.events.snapshot();
+        let runs = self.obs.traces.snapshot();
+        let blame = blame_json.or_else(|| {
+            runs.last()
+                .map(|r| obs::causal::blame(&obs::causal::build(&r.traces)).render_json())
+        });
+        let now = self.now_ns();
+        let now_s = now / 1_000_000_000;
+        reqtrace::render_bundle(&BundleInput {
+            kind,
+            seq,
+            now_ns: now,
+            events: &events,
+            runs: &runs,
+            metrics_json: &self.registry.render_json(),
+            blame_json: blame.as_deref(),
+            slo: (
+                self.obs.slo.fast_burn(now_s),
+                self.obs.slo.slow_burn(now_s),
+                self.obs.slo.threshold_ns(),
+                self.obs.slo.target(),
+            ),
+            stats_json: &self.stats_json(),
+        })
+    }
 }
 
 /// The run server. Cloneable handle semantics come from wrapping in
@@ -218,6 +480,8 @@ pub struct Ticket {
     /// Already-resolved response (cache hit) — no waiting needed.
     ready: Option<Response>,
     redeemed: bool,
+    req_id: u64,
+    tenant_hash: u64,
 }
 
 impl Server {
@@ -268,6 +532,57 @@ impl Server {
                 "End-to-end request latency (submit to artifact)",
                 &[],
             ),
+            queue_wait: registry.histogram(
+                "serve_queue_wait_ms",
+                "Enqueue to worker-pick wait (the fairness signal)",
+                &[],
+            ),
+            slo_fast_burn: registry.gauge(
+                "serve_slo_fast_burn_milli",
+                "Fast-window SLO burn rate, thousandths",
+                &[],
+            ),
+            slo_slow_burn: registry.gauge(
+                "serve_slo_slow_burn_milli",
+                "Slow-window SLO burn rate, thousandths",
+                &[],
+            ),
+            slo_breaches: registry.counter(
+                "serve_slo_breaches_total",
+                "Requests slower than the SLO threshold",
+                &[],
+            ),
+            anomalies: Anomaly::ALL
+                .iter()
+                .map(|a| {
+                    registry.counter(
+                        "serve_anomaly_dumps_total",
+                        "Flight-recorder dumps by trigger kind",
+                        &[("kind", a.as_str().to_string())],
+                    )
+                })
+                .collect(),
+        };
+        let obs_state = ServiceObs {
+            anchor: obs::Anchor::now(),
+            next_id: AtomicU64::new(0),
+            events: Ring::with_capacity(cfg.recorder_capacity),
+            traces: TraceRing::with_capacity(if cfg.recorder_capacity == 0 {
+                0
+            } else {
+                cfg.trace_ring_capacity
+            }),
+            log: Log::on(cfg.log_capacity, cfg.log_rate_per_sec, cfg.log_stderr),
+            slo: SloTracker::new(cfg.slo.clone()),
+            // MAX: the very first request always evaluates the gauges.
+            last_burn_eval_s: AtomicU64::new(u64::MAX),
+            rejects: Mutex::new(RejectWindow {
+                stamps: [0; 64],
+                next: 0,
+            }),
+            last_dump_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            dumps: std::array::from_fn(|_| AtomicU64::new(0)),
+            dump_seq: AtomicU64::new(0),
         };
         let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
@@ -283,6 +598,7 @@ impl Server {
             work_cv: Condvar::new(),
             registry,
             metrics,
+            obs: obs_state,
             cfg,
         });
         let handles = (0..workers)
@@ -303,10 +619,23 @@ impl Server {
     /// Validate, canonicalize, and submit a request. Returns a ticket
     /// immediately; cache hits resolve without touching the pool.
     pub fn submit(&self, req: &Request) -> Result<Ticket, ServeError> {
-        let key = req
-            .params
-            .canonicalize(&self.inner.cfg.limits)
-            .map_err(ServeError::Invalid)?;
+        let t0 = self.inner.now_ns();
+        let req_id = self.inner.obs.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let tenant_hash = reqtrace::tenant_hash(&req.tenant);
+        let key = match req.params.canonicalize(&self.inner.cfg.limits) {
+            Ok(key) => key,
+            Err(msg) => {
+                let now = self.inner.now_ns();
+                self.inner
+                    .record(req_id, Stage::Rejected, tenant_hash, t0, now);
+                self.inner.obs.log.event(Level::Warn, "invalid", |f| {
+                    f.num("id", req_id)
+                        .str("tenant", &req.tenant)
+                        .str("error", &msg);
+                });
+                return Err(ServeError::Invalid(msg));
+            }
+        };
         let deadline = req
             .timeout_ms
             .map(Duration::from_millis)
@@ -318,6 +647,11 @@ impl Server {
             drop(sched);
             m.requests.inc();
             m.cache_hits.inc();
+            let now = self.inner.now_ns();
+            self.inner
+                .record(req_id, Stage::Accepted, tenant_hash, t0, now);
+            self.inner
+                .record(req_id, Stage::CacheHit, tenant_hash, now, now);
             return Ok(Ticket {
                 inner: Arc::clone(&self.inner),
                 pending: Arc::new(Pending::new(req.tenant.clone())),
@@ -329,6 +663,8 @@ impl Server {
                     artifact: hit,
                 }),
                 redeemed: false,
+                req_id,
+                tenant_hash,
             });
         }
         if let Some(pending) = sched.inflight.get(&key).cloned() {
@@ -336,6 +672,11 @@ impl Server {
             drop(sched);
             m.requests.inc();
             m.dedup_joins.inc();
+            let now = self.inner.now_ns();
+            self.inner
+                .record(req_id, Stage::Accepted, tenant_hash, t0, now);
+            self.inner
+                .record(req_id, Stage::DedupJoin, tenant_hash, now, now);
             return Ok(Ticket {
                 inner: Arc::clone(&self.inner),
                 pending,
@@ -344,18 +685,37 @@ impl Server {
                 deadline,
                 ready: None,
                 redeemed: false,
+                req_id,
+                tenant_hash,
             });
         }
         if sched.shutdown {
             drop(sched);
             m.rejects.inc();
+            let now = self.inner.now_ns();
+            self.inner
+                .record(req_id, Stage::Rejected, tenant_hash, t0, now);
+            self.inner.obs.log.event(Level::Warn, "shutting_down", |f| {
+                f.num("id", req_id).str("tenant", &req.tenant);
+            });
             return Err(ServeError::ShuttingDown);
         }
         if sched.queued >= self.inner.cfg.queue_capacity {
+            let queued = sched.queued;
             drop(sched);
             m.rejects.inc();
+            let now = self.inner.now_ns();
+            self.inner
+                .record(req_id, Stage::Rejected, tenant_hash, t0, now);
+            self.inner.obs.log.event(Level::Warn, "overloaded", |f| {
+                f.num("id", req_id)
+                    .str("tenant", &req.tenant)
+                    .num("queued", queued as u64);
+            });
+            self.inner.note_reject(now);
             return Err(ServeError::Overloaded);
         }
+        let enqueued_ns = self.inner.now_ns();
         let pending = Arc::new(Pending::new(req.tenant.clone()));
         sched.inflight.insert(key.clone(), Arc::clone(&pending));
         sched
@@ -365,11 +725,16 @@ impl Server {
             .push_back(Job {
                 key: key.clone(),
                 pending: Arc::clone(&pending),
+                req_id,
+                tenant_hash,
+                enqueued_ns,
             });
         sched.queued += 1;
         m.queue_depth.set(sched.queued as i64);
         drop(sched);
         m.requests.inc();
+        self.inner
+            .record(req_id, Stage::Accepted, tenant_hash, t0, enqueued_ns);
         self.inner.work_cv.notify_all();
         Ok(Ticket {
             inner: Arc::clone(&self.inner),
@@ -379,6 +744,8 @@ impl Server {
             deadline,
             ready: None,
             redeemed: false,
+            req_id,
+            tenant_hash,
         })
     }
 
@@ -407,17 +774,90 @@ impl Server {
         self.inner.registry.render_prometheus()
     }
 
+    /// Server self-metrics as a JSON document (histograms carry
+    /// p50/p95/p99/p999).
+    pub fn metrics_json(&self) -> String {
+        self.inner.registry.render_json()
+    }
+
+    /// The structured event log's retained lines as a JSON array
+    /// (`{"cmd":"events"}`).
+    pub fn events_json(&self) -> String {
+        self.inner.obs.log.render_json_array()
+    }
+
+    /// Liveness + SLO + recorder summary as a JSON object
+    /// (`{"cmd":"health"}`).
+    pub fn health_json(&self) -> String {
+        let now = self.inner.now_ns();
+        let now_s = now / 1_000_000_000;
+        let dumps = Anomaly::ALL
+            .iter()
+            .map(|a| {
+                format!(
+                    "\"{}\":{}",
+                    a.as_str(),
+                    self.inner.obs.dumps[a.index()].load(Ordering::Relaxed)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"uptime_s\":{:.1},\"queue_depth\":{},\"stats\":{},\
+             \"slo\":{{\"fast_burn\":{:.3},\"slow_burn\":{:.3},\"threshold_ns\":{},\"target\":{}}},\
+             \"recorder\":{{\"enabled\":{},\"events_recorded\":{},\"dumps\":{{{}}}}},\
+             \"log_dropped\":{}}}",
+            now as f64 / 1e9,
+            self.queue_depth(),
+            self.inner.stats_json(),
+            self.inner.obs.slo.fast_burn(now_s),
+            self.inner.obs.slo.slow_burn(now_s),
+            self.inner.obs.slo.threshold_ns(),
+            self.inner.obs.slo.target(),
+            self.inner.obs.events.is_on(),
+            self.inner.obs.events.pushed(),
+            dumps,
+            self.inner.obs.log.dropped(),
+        )
+    }
+
+    /// Render a flight-recorder bundle on demand (`{"cmd":"dump"}`).
+    /// Bypasses the anomaly cooldown and writes no file; `kind` is
+    /// `"manual"`. Returns an error string when the recorder is off.
+    pub fn dump_json(&self) -> Result<String, String> {
+        if !self.inner.obs.events.is_on() {
+            return Err("flight recorder disabled (recorder_capacity = 0)".to_string());
+        }
+        let seq = self.inner.obs.dump_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        Ok(self.inner.render_dump("manual", seq, None))
+    }
+
+    /// Flight-recorder event snapshot, oldest to newest (tests, tools).
+    pub fn recorded_events(&self) -> Vec<ReqEvent> {
+        self.inner.obs.events.snapshot()
+    }
+
+    /// The stitched Chrome-trace document for the recorder's current
+    /// contents: service track + stored runs with flow arrows.
+    pub fn stitched_trace(&self) -> String {
+        let events = self.inner.obs.events.snapshot();
+        let runs = self.inner.obs.traces.snapshot();
+        obs::chrome::chrome_trace_stitched(&reqtrace::service_trace(&events), &runs)
+    }
+
+    /// Dumps produced so far for one anomaly kind.
+    pub fn anomaly_dumps(&self, kind: Anomaly) -> u64 {
+        self.inner.obs.dumps[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// The structured event log handle (TCP front end logs through it).
+    pub(crate) fn log(&self) -> &Log {
+        &self.inner.obs.log
+    }
+
     /// Counter snapshot for tests and load reports.
     pub fn stats(&self) -> ServerStats {
-        let m = &self.inner.metrics;
-        ServerStats {
-            requests: m.requests.get(),
-            cache_hits: m.cache_hits.get(),
-            dedup_joins: m.dedup_joins.get(),
-            executions: m.executions.get(),
-            rejects: m.rejects.get(),
-            timeouts: m.timeouts.get(),
-        }
+        self.inner.stats_snapshot()
     }
 
     /// Number of cached artifacts right now.
@@ -446,14 +886,20 @@ impl Ticket {
         &self.key
     }
 
+    /// The request id assigned at submission (the service-track row this
+    /// request's lifecycle spans render under).
+    pub fn request_id(&self) -> RequestId {
+        RequestId(self.req_id)
+    }
+
     /// Block until the artifact is ready or the deadline expires.
     pub fn wait(mut self) -> Result<Response, ServeError> {
         self.redeemed = true;
         if let Some(ready) = self.ready.take() {
+            let latency = self.submitted.elapsed().as_nanos() as u64;
+            self.inner.metrics.latency.observe(latency);
             self.inner
-                .metrics
-                .latency
-                .observe(self.submitted.elapsed().as_nanos() as u64);
+                .finish_request(self.req_id, self.tenant_hash, latency, Stage::Responded);
             return Ok(ready);
         }
         let deadline = self.submitted + self.deadline;
@@ -462,10 +908,10 @@ impl Ticket {
             if let PendState::Done(result) = &*state {
                 let result = result.clone();
                 drop(state);
+                let latency = self.submitted.elapsed().as_nanos() as u64;
+                self.inner.metrics.latency.observe(latency);
                 self.inner
-                    .metrics
-                    .latency
-                    .observe(self.submitted.elapsed().as_nanos() as u64);
+                    .finish_request(self.req_id, self.tenant_hash, latency, Stage::Responded);
                 return result.map(|artifact| Response {
                     cached: false,
                     artifact,
@@ -476,6 +922,15 @@ impl Ticket {
                 drop(state);
                 self.abandon();
                 self.inner.metrics.timeouts.inc();
+                let latency = self.submitted.elapsed().as_nanos() as u64;
+                self.inner
+                    .finish_request(self.req_id, self.tenant_hash, latency, Stage::TimedOut);
+                self.inner.obs.log.event(Level::Warn, "deadline_miss", |f| {
+                    f.num("id", self.req_id)
+                        .str("key", &self.key.tag())
+                        .float("deadline_ms", self.deadline.as_secs_f64() * 1e3);
+                });
+                self.inner.trigger_anomaly(Anomaly::DeadlineMiss, None);
                 return Err(ServeError::Timeout);
             }
             self.pending
@@ -570,16 +1025,78 @@ fn worker_loop(inner: &Inner) {
                 inner.work_cv.wait(&mut sched);
             }
         };
-        let result = catch_unwind(AssertUnwindSafe(|| artifact::render(&job.key)))
-            .map(Arc::new)
-            .map_err(|panic| {
+        let picked_ns = inner.now_ns();
+        inner
+            .metrics
+            .queue_wait
+            .observe(picked_ns.saturating_sub(job.enqueued_ns) / 1_000_000);
+        inner.record(
+            job.req_id,
+            Stage::Queued,
+            job.tenant_hash,
+            job.enqueued_ns,
+            picked_ns,
+        );
+        let exec_start = picked_ns;
+        let outcome = catch_unwind(AssertUnwindSafe(|| artifact::execute_render(&job.key)));
+        let exec_end = inner.now_ns();
+        inner.record(
+            job.req_id,
+            Stage::Executing,
+            job.tenant_hash,
+            exec_start,
+            exec_end,
+        );
+        let result = match outcome {
+            Ok((artifact, report)) => {
+                if !report.traces.is_empty() {
+                    // A traced run: check for stragglers before the
+                    // traces move into the ring.
+                    let verdict = report.stragglers();
+                    let blame = if verdict.flagged.is_empty() {
+                        None
+                    } else {
+                        Some(report.blame().render_json())
+                    };
+                    if inner.obs.traces.is_on() {
+                        inner.obs.traces.store(StoredRun {
+                            request_id: job.req_id,
+                            exec_tid: job.req_id as u32,
+                            exec_start_ns: exec_start,
+                            traces: report.traces,
+                        });
+                    }
+                    if let Some(blame) = blame {
+                        inner.obs.log.event(Level::Warn, "straggler", |f| {
+                            f.num("id", job.req_id)
+                                .str("key", &job.key.tag())
+                                .str("ranks", &format!("{:?}", verdict.flagged));
+                        });
+                        inner.trigger_anomaly(Anomaly::Straggler, Some(blame));
+                    }
+                }
+                inner.obs.log.event(Level::Info, "executed", |f| {
+                    f.num("id", job.req_id)
+                        .str("tenant", &job.pending.tenant)
+                        .str("key", &job.key.tag())
+                        .float("ms", (exec_end.saturating_sub(exec_start)) as f64 / 1e6);
+                });
+                Ok(Arc::new(artifact))
+            }
+            Err(panic) => {
                 let msg = panic
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "run panicked".to_string());
-                ServeError::Failed(msg)
-            });
+                inner.obs.log.event(Level::Error, "run_panicked", |f| {
+                    f.num("id", job.req_id)
+                        .str("key", &job.key.tag())
+                        .str("error", &msg);
+                });
+                Err(ServeError::Failed(msg))
+            }
+        };
         inner.metrics.executions.inc();
         {
             let mut sched = inner.sched.lock();
@@ -595,6 +1112,13 @@ fn worker_loop(inner: &Inner) {
             }
         }
         job.pending.publish(result);
+        inner.record(
+            job.req_id,
+            Stage::Rendered,
+            job.tenant_hash,
+            exec_end,
+            inner.now_ns(),
+        );
         // A tenant slot freed and maybe new work is eligible.
         inner.work_cv.notify_all();
     }

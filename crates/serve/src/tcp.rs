@@ -5,6 +5,7 @@
 //! read timeout so idle peers notice the stop flag; the accept loop
 //! joins them all before draining the [`Server`] itself.
 
+use crate::log::Level;
 use crate::protocol::{self, Command};
 use crate::server::Server;
 use std::io::{BufRead, BufReader, Write};
@@ -82,13 +83,31 @@ fn handle_connection(stream: TcpStream, server: &Server, stop: &AtomicBool) -> s
             continue;
         }
         let response = match protocol::parse_line(&line) {
-            Err(e) => protocol::render_error(&e),
+            Err(e) => {
+                server.log().event(Level::Warn, "parse_error", |f| {
+                    f.str("error", &e);
+                });
+                protocol::render_error(&e)
+            }
             Ok(Command::Ping) => "{\"status\":\"ok\",\"pong\":true}".to_string(),
             Ok(Command::Metrics) => format!(
                 "{{\"status\":\"ok\",\"metrics\":{}}}",
                 figures::json::escape(&server.metrics_text())
             ),
+            Ok(Command::Events) => {
+                format!("{{\"status\":\"ok\",\"events\":{}}}", server.events_json())
+            }
+            Ok(Command::Health) => {
+                format!("{{\"status\":\"ok\",\"health\":{}}}", server.health_json())
+            }
+            Ok(Command::Dump) => match server.dump_json() {
+                Ok(bundle) => format!("{{\"status\":\"ok\",\"dump\":{bundle}}}"),
+                Err(e) => protocol::render_error(&e),
+            },
             Ok(Command::Shutdown) => {
+                server
+                    .log()
+                    .event(Level::Info, "shutdown_requested", |_| {});
                 stop.store(true, Ordering::SeqCst);
                 writer.write_all(b"{\"status\":\"ok\",\"stopping\":true}\n")?;
                 writer.flush()?;

@@ -1,0 +1,75 @@
+//! Zero-cost-when-disabled guarantee for the flight recorder (own
+//! binary: the assertion reads the process-global recorder-state
+//! allocation counter, which any recorder-enabled server elsewhere in
+//! the same process would perturb).
+
+use obs::recorder::recorder_states_allocated;
+use overlap::RunParams;
+use serve::protocol::Request;
+use serve::server::{Server, ServerConfig};
+
+fn request(seed: u64) -> Request {
+    Request {
+        tenant: "alloc".into(),
+        params: RunParams {
+            impl_slug: "bulk_sync".into(),
+            grid: 8,
+            steps: 1,
+            tasks: 2,
+            threads: 1,
+            fault_seed: Some(seed),
+            ..RunParams::default()
+        },
+        timeout_ms: None,
+    }
+}
+
+fn off_config() -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        recorder_capacity: 0,
+        trace_ring_capacity: 0,
+        log_capacity: 0,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn disabled_recorder_allocates_no_ring_state() {
+    // Steady state: two full server lifecycles with the recorder off
+    // must never construct ring state — warm or cold, across submit,
+    // wait, execute, render, and shutdown.
+    for lap in 0..2u64 {
+        let server = Server::start(off_config());
+        for i in 0..4u64 {
+            let resp = server
+                .run(&request(1 + lap * 100 + i))
+                .expect("runs succeed");
+            assert!(!resp.artifact.is_empty());
+        }
+        assert!(
+            server.dump_json().is_err(),
+            "manual dump must refuse when the recorder is off"
+        );
+        assert!(server.recorded_events().is_empty());
+        server.shutdown();
+    }
+    assert_eq!(
+        recorder_states_allocated(),
+        0,
+        "recorder off: no ring state may be allocated"
+    );
+
+    // Control: the counter does observe an enabled recorder (event ring
+    // + trace ring), so the zero above is meaningful.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let n = recorder_states_allocated();
+    assert!(
+        n >= 2,
+        "enabled recorder allocates event + trace rings, saw {n}"
+    );
+    server.shutdown();
+}
